@@ -1,0 +1,59 @@
+"""Simulator microbenchmarks — the substrate's own cost.
+
+Not a paper figure: these measure the simulated-MPI substrate so that
+regressions in the scheduler or collective drivers are visible.  Unlike
+the campaign benches, these use multiple pytest-benchmark rounds.
+"""
+
+import pytest
+
+from repro.simmpi import run_app
+
+
+def _allreduce_app(iters, count):
+    def app(ctx):
+        s = ctx.alloc(count, ctx.DOUBLE)
+        r = ctx.alloc(count, ctx.DOUBLE)
+        s.view[:] = ctx.rank
+        for _ in range(iters):
+            yield from ctx.Allreduce(s.addr, r.addr, count, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        return float(r.view[0])
+
+    return app
+
+
+@pytest.mark.parametrize("nranks", [8, 32])
+def bench_allreduce_throughput(benchmark, nranks):
+    app = _allreduce_app(iters=50, count=64)
+    result = benchmark(lambda: run_app(app, nranks))
+    assert result.results[0] == sum(range(nranks))
+
+
+def bench_alltoall_throughput(benchmark):
+    def app(ctx):
+        n = ctx.size
+        s = ctx.alloc(n * 16, ctx.DOUBLE)
+        r = ctx.alloc(n * 16, ctx.DOUBLE)
+        for _ in range(20):
+            yield from ctx.Alltoall(s.addr, 16, r.addr, 16, ctx.DOUBLE, ctx.WORLD)
+        return True
+
+    assert benchmark(lambda: run_app(app, 16)).results[0]
+
+
+def bench_barrier_throughput(benchmark):
+    def app(ctx):
+        for _ in range(100):
+            yield from ctx.Barrier(ctx.WORLD)
+        return True
+
+    assert benchmark(lambda: run_app(app, 32)).results[0]
+
+
+def bench_lammps_timestep(benchmark):
+    """One full golden mini-LAMMPS (class T) job."""
+    from repro.apps import make_app
+
+    app = make_app("lammps", "T")
+    result = benchmark(lambda: run_app(app.main, app.nranks))
+    assert result.results[0]["energy"] < 0

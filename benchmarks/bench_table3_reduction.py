@@ -1,0 +1,86 @@
+"""Table III — reduction of fault-injection points/tests per technique.
+
+Paper numbers (32 ranks): semantic ("MPI") 96.09–97.24 %; context
+("App") 40.00–95.24 %; ML 53.33 % (LAMMPS only, NA for NPB); total
+97.81–99.84 %.  Pruning is pure profiling, so this benchmark runs at
+the paper's full 32 ranks; the ML column comes from an ML-driven
+campaign on the smaller class (injection cost).
+
+Expected shapes: semantic reduction >90 % at 32 ranks; totals >95 %;
+LAMMPS context reduction large (same-stack timestep loops).
+"""
+
+import common
+
+from repro import FastFIT
+from repro.analysis import render_table
+from repro.apps import NPB_NAMES, make_app
+from repro.pruning import ml_driven_campaign
+
+
+def bench_table3_reduction(benchmark):
+    def build():
+        rows = {}
+        for name in (*NPB_NAMES, "lammps"):
+            ff = FastFIT(make_app(name, common.PRUNING_CLASS))
+            pr = ff.prune()
+            rows[name] = {
+                "MPI": pr.semantic_reduction,
+                "App": pr.context_reduction,
+                "ML": None,
+                "Total": pr.combined_reduction,
+            }
+        # The ML column (LAMMPS row only, as in the paper): fraction of
+        # representative points whose tests the model skipped.
+        app = common.get_app("lammps")
+        profile = common.get_profile("lammps")
+        # The ML stage operates on the points the static pruners leave.
+        # At miniature scale the context-pruned set is too small to
+        # train on, so the ML column is measured over the semantic
+        # survivors (the paper's LAMMPS leaves thousands of points).
+        from repro.pruning import select_semantic
+
+        survivors = select_semantic(profile).selected_points_list
+        ml = ml_driven_campaign(
+            app,
+            profile,
+            survivors,
+            threshold=0.65,
+            tests_per_point=10,
+            batch_size=6,
+            param_policy="buffer",
+            seed=33,
+        )
+        rows["lammps"]["ML"] = ml.test_reduction
+        rows["lammps"]["Total"] = 1.0 - (1.0 - rows["lammps"]["Total"]) * (
+            1.0 - ml.test_reduction
+        )
+        return rows
+
+    rows = common.once(benchmark, build)
+    table_rows = [
+        [
+            name.upper(),
+            f"{r['MPI']:.2%}",
+            f"{r['App']:.2%}",
+            "NA" if r["ML"] is None else f"{r['ML']:.2%}",
+            f"{r['Total']:.2%}",
+        ]
+        for name, r in rows.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["App", "MPI", "App-ctx", "ML", "Total"],
+            table_rows,
+            title=f"Table III: reduction ratios (pruning at {common.PRUNING_CLASS}-class, 32 ranks)",
+        )
+    )
+
+    for name, r in rows.items():
+        # Semantic pruning at 32 ranks approaches the paper's ~96 %.
+        assert r["MPI"] >= 0.85, f"{name}: semantic reduction too small"
+        assert r["Total"] >= 0.90, f"{name}: total reduction too small"
+    # Context pruning is strongest where one site repeats with one stack.
+    assert rows["lammps"]["App"] >= 0.4
+    assert rows["lammps"]["ML"] is not None and rows["lammps"]["ML"] > 0.0

@@ -1,0 +1,30 @@
+"""FastFIT reproduction: fast fault injection and sensitivity analysis
+for collective communications (Feng et al., IEEE CLUSTER 2015).
+
+Public entry points:
+
+* :class:`repro.FastFIT` — the end-to-end tool facade;
+* :mod:`repro.simmpi` — the simulated MPI substrate;
+* :mod:`repro.apps` — the NPB-shaped kernels and mini-LAMMPS workloads;
+* :mod:`repro.profiling`, :mod:`repro.injection`, :mod:`repro.pruning`,
+  :mod:`repro.ml`, :mod:`repro.analysis` — the component layers.
+"""
+
+from . import analysis, apps, injection, ml, profiling, pruning, simmpi
+from .fastfit import FastFIT, FastFITReport, PruningReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FastFIT",
+    "FastFITReport",
+    "PruningReport",
+    "analysis",
+    "apps",
+    "injection",
+    "ml",
+    "profiling",
+    "pruning",
+    "simmpi",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Result serialisation: campaigns and reports to JSON/CSV.
+
+A fault-injection campaign on a production machine is expensive; its
+results should outlive the Python session.  These helpers produce
+stable, diff-friendly artefacts (sorted keys, one record per point).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from ..injection.campaign import CampaignResult, PointResult
+from ..injection.outcome import OUTCOME_ORDER, Outcome
+from ..injection.space import InjectionPoint
+
+
+def point_to_dict(point: InjectionPoint) -> dict[str, Any]:
+    return {
+        "rank": point.rank,
+        "collective": point.collective,
+        "site": point.site,
+        "invocation": point.invocation,
+    }
+
+
+def point_from_dict(data: dict[str, Any]) -> InjectionPoint:
+    return InjectionPoint(
+        int(data["rank"]), data["collective"], data["site"], int(data["invocation"])
+    )
+
+
+def campaign_to_dict(campaign: CampaignResult) -> dict[str, Any]:
+    """A JSON-ready representation of a campaign (per-point outcome
+    histograms; individual test records are summarised, not dumped)."""
+    return {
+        "app": campaign.app_name,
+        "tests_per_point": campaign.tests_per_point,
+        "param_policy": campaign.param_policy,
+        "points": [
+            {
+                **point_to_dict(point),
+                "n_tests": pr.n_tests,
+                "error_rate": pr.error_rate,
+                "outcomes": {o.value: pr.outcomes.get(o, 0) for o in OUTCOME_ORDER},
+            }
+            for point, pr in sorted(campaign.points.items())
+        ],
+    }
+
+
+def campaign_to_json(campaign: CampaignResult, indent: int = 2) -> str:
+    return json.dumps(campaign_to_dict(campaign), indent=indent, sort_keys=True)
+
+
+def campaign_summary_from_json(text: str) -> dict[str, Any]:
+    """Load a serialised campaign summary (round-trip of the JSON)."""
+    data = json.loads(text)
+    for key in ("app", "tests_per_point", "param_policy", "points"):
+        if key not in data:
+            raise ValueError(f"not a campaign summary: missing {key!r}")
+    return data
+
+
+def campaign_to_csv(campaign: CampaignResult) -> str:
+    """One CSV row per injection point."""
+    buf = io.StringIO()
+    fields = [
+        "rank",
+        "collective",
+        "site",
+        "invocation",
+        "n_tests",
+        "error_rate",
+        *[o.value for o in OUTCOME_ORDER],
+    ]
+    writer = csv.DictWriter(buf, fieldnames=fields)
+    writer.writeheader()
+    for point, pr in sorted(campaign.points.items()):
+        row = {
+            **point_to_dict(point),
+            "n_tests": pr.n_tests,
+            "error_rate": f"{pr.error_rate:.6f}",
+        }
+        for o in OUTCOME_ORDER:
+            row[o.value] = pr.outcomes.get(o, 0)
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def tests_to_csv(campaign: CampaignResult) -> str:
+    """One CSV row per individual test (the full record)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["rank", "collective", "site", "invocation", "param", "bit", "outcome"]
+    )
+    for point, pr in sorted(campaign.points.items()):
+        for t in pr.tests:
+            writer.writerow(
+                [
+                    point.rank,
+                    point.collective,
+                    point.site,
+                    point.invocation,
+                    t.spec.param,
+                    t.record.bit if t.record else "",
+                    t.outcome.value,
+                ]
+            )
+    return buf.getvalue()
+
+
+def outcome_counts_from_summary(data: dict[str, Any]) -> dict[Outcome, int]:
+    """Aggregate outcome histogram from a loaded summary."""
+    totals = {o: 0 for o in OUTCOME_ORDER}
+    for rec in data["points"]:
+        for o in OUTCOME_ORDER:
+            totals[o] += int(rec["outcomes"].get(o.value, 0))
+    return totals

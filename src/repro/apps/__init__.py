@@ -1,0 +1,30 @@
+"""``repro.apps`` — fault-injection workloads.
+
+Miniature but faithful reconstructions of the paper's benchmarks: four
+NPB kernels (IS, FT, MG, LU) and a mini-LAMMPS molecular-dynamics code,
+all written against the :mod:`repro.simmpi` API.
+"""
+
+from .base import PROBLEM_CLASSES, Application, signatures_match
+from .lammps.minimd import MiniMD
+from .npb.cg_kernel import CGKernel
+from .npb.ft_kernel import FTKernel
+from .npb.is_kernel import ISKernel
+from .npb.lu_kernel import LUKernel
+from .npb.mg_kernel import MGKernel
+from .registry import APPLICATIONS, NPB_NAMES, make_app
+
+__all__ = [
+    "APPLICATIONS",
+    "Application",
+    "CGKernel",
+    "FTKernel",
+    "ISKernel",
+    "LUKernel",
+    "MGKernel",
+    "MiniMD",
+    "NPB_NAMES",
+    "PROBLEM_CLASSES",
+    "make_app",
+    "signatures_match",
+]

@@ -1,0 +1,119 @@
+"""Application interface for fault-injection workloads.
+
+An :class:`Application` bundles an entry point (a generator function in
+the :mod:`repro.simmpi` style), its problem parameters, and the
+app-specific *golden comparison* used to detect silent data corruption
+(``WRONG_ANS``).
+
+Workloads follow the conventions FastFIT's analysis relies on:
+
+* they call :meth:`~repro.simmpi.context.Context.set_phase` at phase
+  transitions (``input`` → ``init`` → ``compute`` → ``end``), feeding the
+  ``Phase`` ML feature;
+* error-handling collectives live in helper functions whose names start
+  with ``check_`` — the convention the ``ErrHal`` feature detects, our
+  stand-in for the paper's manual identification of error-handling code;
+* application self-checks abort via ``ctx.app_error(...)``
+  (``APP_DETECTED``), and the final per-rank return value is the result
+  signature compared against a golden run.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generator
+
+import numpy as np
+
+from ..simmpi import Context
+
+#: Problem classes: "T" (tiny — unit tests), "S" (small — campaign
+#: benchmarks, 32 ranks as in the paper), "A" (bigger, for profiling).
+PROBLEM_CLASSES = ("T", "S", "A")
+
+
+def signatures_match(golden: Any, observed: Any, rtol: float, atol: float = 1e-12) -> bool:
+    """Recursively compare result signatures with a tolerance.
+
+    Handles nested lists/tuples/dicts of floats, ints, strings, and numpy
+    arrays.  NaNs never match (a NaN result differs from a clean run).
+    """
+    if isinstance(golden, dict):
+        return (
+            isinstance(observed, dict)
+            and golden.keys() == observed.keys()
+            and all(signatures_match(golden[k], observed[k], rtol, atol) for k in golden)
+        )
+    if isinstance(golden, (list, tuple)):
+        return (
+            isinstance(observed, (list, tuple))
+            and len(golden) == len(observed)
+            and all(signatures_match(g, o, rtol, atol) for g, o in zip(golden, observed))
+        )
+    if isinstance(golden, (float, np.floating)) or isinstance(golden, np.ndarray):
+        try:
+            return bool(
+                np.allclose(
+                    np.asarray(golden, dtype=np.float64),
+                    np.asarray(observed, dtype=np.float64),
+                    rtol=rtol,
+                    atol=atol,
+                )
+            )
+        except (TypeError, ValueError):
+            return False
+    return bool(golden == observed)
+
+
+class Application(abc.ABC):
+    """A workload that can be profiled and fault-injected.
+
+    Subclasses define ``name``, the per-class parameter presets
+    (:meth:`class_params`), and :meth:`main`.
+    """
+
+    #: Registry name, e.g. ``"lu"``.
+    name: str = ""
+    #: Relative tolerance for the golden comparison (loose for
+    #: statistically verified codes like molecular dynamics).
+    rtol: float = 1e-9
+
+    def __init__(self, nranks: int, **params: Any):
+        self.nranks = nranks
+        self.params = dict(params)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    @abc.abstractmethod
+    def class_params(cls, problem_class: str) -> dict[str, Any]:
+        """Parameter preset for a problem class, including ``nranks``."""
+
+    @classmethod
+    def from_problem_class(cls, problem_class: str = "T") -> "Application":
+        if problem_class not in PROBLEM_CLASSES:
+            raise ValueError(
+                f"unknown problem class {problem_class!r}; expected one of {PROBLEM_CLASSES}"
+            )
+        params = cls.class_params(problem_class)
+        nranks = params.pop("nranks")
+        return cls(nranks, **params)
+
+    # -- execution --------------------------------------------------------
+
+    @abc.abstractmethod
+    def main(self, ctx: Context) -> Generator:
+        """The per-rank entry point (generator function)."""
+
+    def compare(self, golden: list[Any], observed: list[Any]) -> bool:
+        """True when ``observed`` matches the golden signatures."""
+        return signatures_match(golden, observed, self.rtol)
+
+    # -- metadata ---------------------------------------------------------
+
+    def describe(self) -> str:
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.name}(nranks={self.nranks}, {items})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,6 @@
+"""Mini-LAMMPS: a Lennard-Jones molecular-dynamics workload."""
+
+from .domain import Domain
+from .minimd import MiniMD
+
+__all__ = ["Domain", "MiniMD"]

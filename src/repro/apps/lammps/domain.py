@@ -1,0 +1,68 @@
+"""Spatial decomposition for the mini molecular-dynamics code.
+
+LAMMPS-style 1-D slab decomposition along x with periodic boundaries in
+all three dimensions.  Each rank owns the atoms whose (wrapped) x
+coordinate falls in its slab; atoms near a slab face are communicated to
+the neighbouring rank as ghosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The global simulation box and this rank's slab of it.
+
+    Attributes
+    ----------
+    nranks / rank:
+        Decomposition geometry.
+    slab_w:
+        Slab width along x; must exceed the interaction cutoff so only
+        adjacent slabs exchange ghosts.
+    ly, lz:
+        Box extents in the undecomposed dimensions.
+    """
+
+    rank: int
+    nranks: int
+    slab_w: float
+    ly: float
+    lz: float
+
+    @property
+    def lx(self) -> float:
+        return self.slab_w * self.nranks
+
+    @property
+    def xlo(self) -> float:
+        return self.rank * self.slab_w
+
+    @property
+    def xhi(self) -> float:
+        return (self.rank + 1) * self.slab_w
+
+    def wrap(self, pos: np.ndarray) -> np.ndarray:
+        """Wrap positions into the periodic box (in place-safe copy)."""
+        box = np.array([self.lx, self.ly, self.lz])
+        return pos - np.floor(pos / box) * box
+
+    def owner_offsets(self, x: np.ndarray) -> np.ndarray:
+        """Slab offsets of the owners of wrapped x coordinates, relative
+        to this rank: 0 = mine, ±1 = neighbour, anything else = the atom
+        moved more than one slab in one step ("lost atom")."""
+        owner = np.floor(x / self.slab_w).astype(np.int64)
+        diff = (owner - self.rank) % self.nranks
+        diff = np.where(diff > self.nranks // 2, diff - self.nranks, diff)
+        return diff
+
+    def near_left(self, x: np.ndarray, cutoff: float) -> np.ndarray:
+        """Mask of atoms within ``cutoff`` of the slab's low-x face."""
+        return x < self.xlo + cutoff
+
+    def near_right(self, x: np.ndarray, cutoff: float) -> np.ndarray:
+        return x >= self.xhi - cutoff

@@ -1,0 +1,24 @@
+"""Velocity-Verlet integration for the mini molecular-dynamics code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def half_kick(vel: np.ndarray, forces: np.ndarray, dt: float) -> np.ndarray:
+    """First/second half of the velocity update (unit mass)."""
+    return vel + 0.5 * dt * forces
+
+
+def drift(pos: np.ndarray, vel: np.ndarray, dt: float) -> np.ndarray:
+    """Position update."""
+    return pos + dt * vel
+
+
+def init_velocities(rng: np.random.Generator, n: int, temperature: float) -> np.ndarray:
+    """Gaussian velocities at the requested reduced temperature, with the
+    local centre-of-mass drift removed (LAMMPS ``velocity create`` style)."""
+    vel = rng.normal(0.0, np.sqrt(temperature), size=(n, 3))
+    if n:
+        vel -= vel.mean(axis=0)
+    return vel

@@ -1,0 +1,137 @@
+"""Ghost-atom exchange and atom migration (LAMMPS ``comm`` style).
+
+Both use the classic two-message protocol per direction: a count, then
+the packed payload.  Everything flows through pre-allocated arena
+staging buffers so the MPI layer sees real simulated memory.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ...simmpi import Context
+from .domain import Domain
+
+
+def alloc_comm_buffers(ctx: Context, capacity: int) -> dict:
+    """Pre-allocate staging buffers for ghost exchange and migration.
+
+    ``capacity`` is the maximum atom count per message.
+    """
+    bufs = {"cap": capacity}
+    for name in ("cnt_sl", "cnt_sr", "cnt_rl", "cnt_rr"):
+        bufs[name] = ctx.alloc(1, ctx.INT, f"md.{name}")
+    for name in ("pay_sl", "pay_sr", "pay_rl", "pay_rr"):
+        bufs[name] = ctx.alloc(capacity * 6, ctx.DOUBLE, f"md.{name}")
+    return bufs
+
+
+def _exchange(
+    ctx: Context,
+    domain: Domain,
+    pack_left: np.ndarray,
+    pack_right: np.ndarray,
+    width: int,
+    bufs: dict,
+    tag: int,
+) -> Generator:
+    """Exchange packed per-atom records with both slab neighbours.
+
+    ``pack_left``/``pack_right`` are ``(k, width)`` float arrays bound
+    for the lower/higher slab; returns ``(from_left, from_right)`` in the
+    same layout.  Raises the application-level "comm buffer overflow"
+    check when an incoming count is implausible.
+    """
+    n = domain.nranks
+    left = (domain.rank - 1) % n
+    right = (domain.rank + 1) % n
+    cap = bufs["cap"]
+
+    bufs["cnt_sl"].view[0] = len(pack_left)
+    bufs["cnt_sr"].view[0] = len(pack_right)
+    yield from ctx.Send(bufs["cnt_sl"].addr, 1, ctx.INT, left, tag, ctx.WORLD)
+    yield from ctx.Send(bufs["cnt_sr"].addr, 1, ctx.INT, right, tag + 1, ctx.WORLD)
+    yield from ctx.Recv(bufs["cnt_rr"].addr, 1, ctx.INT, right, tag, ctx.WORLD)
+    yield from ctx.Recv(bufs["cnt_rl"].addr, 1, ctx.INT, left, tag + 1, ctx.WORLD)
+    n_from_right = int(bufs["cnt_rr"].view[0])
+    n_from_left = int(bufs["cnt_rl"].view[0])
+    if not (0 <= n_from_right <= cap and 0 <= n_from_left <= cap):
+        ctx.app_error(
+            f"MD: implausible incoming atom count ({n_from_left}/{n_from_right})"
+        )
+
+    if len(pack_left):
+        bufs["pay_sl"].view[: pack_left.size] = pack_left.reshape(-1)
+    yield from ctx.Send(bufs["pay_sl"].addr, len(pack_left) * width, ctx.DOUBLE, left, tag + 2, ctx.WORLD)
+    if len(pack_right):
+        bufs["pay_sr"].view[: pack_right.size] = pack_right.reshape(-1)
+    yield from ctx.Send(bufs["pay_sr"].addr, len(pack_right) * width, ctx.DOUBLE, right, tag + 3, ctx.WORLD)
+    yield from ctx.Recv(bufs["pay_rr"].addr, cap * width, ctx.DOUBLE, right, tag + 2, ctx.WORLD)
+    yield from ctx.Recv(bufs["pay_rl"].addr, cap * width, ctx.DOUBLE, left, tag + 3, ctx.WORLD)
+    from_right = bufs["pay_rr"].view[: n_from_right * width].reshape(-1, width).copy()
+    from_left = bufs["pay_rl"].view[: n_from_left * width].reshape(-1, width).copy()
+    return from_left, from_right
+
+
+def exchange_ghosts(
+    ctx: Context,
+    domain: Domain,
+    pos: np.ndarray,
+    cutoff: float,
+    bufs: dict,
+    tag: int,
+) -> Generator:
+    """Collect neighbour-slab ghost positions within ``cutoff`` of our
+    faces, with x already shifted into this rank's unwrapped frame."""
+    if domain.nranks == 1:
+        shift = np.array([domain.lx, 0.0, 0.0])
+        return np.vstack([pos - shift, pos + shift])
+
+    x = pos[:, 0]
+    to_left = pos[domain.near_left(x, cutoff)].copy()
+    if domain.rank == 0:
+        to_left[:, 0] += domain.lx  # wraps to the top slab
+    to_right = pos[domain.near_right(x, cutoff)].copy()
+    if domain.rank == domain.nranks - 1:
+        to_right[:, 0] -= domain.lx
+    from_left, from_right = yield from _exchange(
+        ctx, domain, to_left, to_right, 3, bufs, tag
+    )
+    return np.vstack([from_left, from_right]) if (len(from_left) or len(from_right)) else np.zeros((0, 3))
+
+
+def migrate(
+    ctx: Context,
+    domain: Domain,
+    pos: np.ndarray,
+    vel: np.ndarray,
+    bufs: dict,
+    tag: int,
+) -> Generator:
+    """Reassign atoms that crossed a slab boundary to their new owner.
+
+    Atoms that moved more than one slab in a reneighbour interval are
+    *dropped* — exactly LAMMPS' "lost atoms" behaviour; the caller's
+    global count check turns that into ``APP_DETECTED``.
+    Returns ``(pos, vel, n_lost)``.
+    """
+    pos = domain.wrap(pos)
+    if domain.nranks == 1:
+        return pos, vel, 0
+    off = domain.owner_offsets(pos[:, 0])
+    stay = off == 0
+    go_left = off == -1
+    go_right = off == 1
+    n_lost = int((~(stay | go_left | go_right)).sum())
+
+    rec_left = np.hstack([pos[go_left], vel[go_left]])
+    rec_right = np.hstack([pos[go_right], vel[go_right]])
+    from_left, from_right = yield from _exchange(
+        ctx, domain, rec_left, rec_right, 6, bufs, tag
+    )
+    incoming = [r for r in (from_left, from_right) if len(r)]
+    new_pos = [pos[stay]] + [r[:, :3] for r in incoming]
+    new_vel = [vel[stay]] + [r[:, 3:] for r in incoming]
+    return np.vstack(new_pos), np.vstack(new_vel), n_lost

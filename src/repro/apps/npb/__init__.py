@@ -1,0 +1,9 @@
+"""NPB-shaped kernels: IS, FT, MG, LU — plus the CG extension."""
+
+from .cg_kernel import CGKernel
+from .ft_kernel import FTKernel
+from .is_kernel import ISKernel
+from .lu_kernel import LUKernel
+from .mg_kernel import MGKernel
+
+__all__ = ["CGKernel", "FTKernel", "ISKernel", "LUKernel", "MGKernel"]

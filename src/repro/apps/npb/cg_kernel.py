@@ -1,0 +1,134 @@
+"""CG — conjugate gradient on a synthetic SPD system, NPB-CG shaped.
+
+An extension workload beyond the paper's four kernels: its column-block
+decomposition exercises the collectives the others don't —
+``Reduce_scatter`` distributes the matvec partial sums, ``Gatherv``
+collects the solution at the root — alongside the usual ``Allreduce``
+dot products and config ``Bcast``.
+
+Each rank owns a column block of the (replicated, deterministically
+generated) SPD matrix; ``y = A p`` is computed as full-length partials
+reduced-and-scattered back to block ownership.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ...simmpi import Context
+from ..base import Application
+
+
+class CGKernel(Application):
+    """Conjugate gradient with column-block matvec."""
+
+    name = "cg"
+    rtol = 1e-8
+
+    @classmethod
+    def class_params(cls, problem_class: str) -> dict[str, Any]:
+        return {
+            "T": dict(nranks=4, n_per_rank=24, iterations=12, shift=8.0, seed=17),
+            "S": dict(nranks=32, n_per_rank=8, iterations=15, shift=10.0, seed=17),
+            "A": dict(nranks=32, n_per_rank=32, iterations=25, shift=12.0, seed=17),
+        }[problem_class]
+
+    def check_scalars(self, ctx: Context, bufs: dict, *values: float) -> Generator:
+        """Error-handling collective: abort when any CG scalar went
+        non-finite anywhere (breakdown detection)."""
+        flag, gflag = bufs["flag"], bufs["flag_g"]
+        flag.view[0] = 0 if all(np.isfinite(v) for v in values) else 1
+        yield from ctx.Allreduce(flag.addr, gflag.addr, 1, ctx.INT, ctx.MAX, ctx.WORLD)
+        if int(gflag.view[0]):
+            ctx.app_error("CG: non-finite scalar (breakdown)")
+
+    def _dot(self, ctx: Context, bufs: dict, a: np.ndarray, b: np.ndarray) -> Generator:
+        loc, glob = bufs["dot"], bufs["dot_g"]
+        loc.view[0] = float(a @ b)
+        yield from ctx.Allreduce(loc.addr, glob.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        return float(glob.view[0])
+
+    def main(self, ctx: Context) -> Generator:
+        p = self.params
+        nranks = ctx.size
+
+        ctx.set_phase("input")
+        cfg = ctx.alloc(5, ctx.LONG, "cg.cfg")
+        if ctx.rank == 0:
+            cfg.view[:] = (
+                p["n_per_rank"],
+                p["iterations"],
+                int(p["shift"] * 1e6),
+                p["seed"],
+                0,
+            )
+        yield from ctx.Bcast(cfg.addr, 5, ctx.LONG, 0, ctx.WORLD)
+        n_loc, iterations, shift_fx, seed = (int(v) for v in cfg.view[:4])
+        if not (0 < n_loc <= 4096 and 0 < iterations <= 4096):
+            ctx.app_error("CG: implausible configuration after broadcast")
+        shift = shift_fx / 1e6
+
+        ctx.set_phase("init")
+        n = n_loc * nranks
+        rng = np.random.default_rng(seed)  # same matrix on every rank
+        base = rng.standard_normal((n, n)) / np.sqrt(n)
+        a_full = base @ base.T + shift * np.eye(n)
+        cols = slice(ctx.rank * n_loc, (ctx.rank + 1) * n_loc)
+        a_cols = np.ascontiguousarray(a_full[:, cols])
+        rhs_full = np.sin(np.arange(n) * 0.7) + 1.0
+        b_loc = rhs_full[cols].copy()
+
+        x = np.zeros(n_loc)
+        r = b_loc.copy()
+        pvec = ctx.alloc(n_loc, ctx.DOUBLE, "cg.p")
+        pvec.view[:] = r
+        partial = ctx.alloc(n, ctx.DOUBLE, "cg.partial")
+        y = ctx.alloc(n_loc, ctx.DOUBLE, "cg.y")
+        bufs = {
+            "dot": ctx.alloc(1, ctx.DOUBLE, "cg.dot"),
+            "dot_g": ctx.alloc(1, ctx.DOUBLE, "cg.dot_g"),
+            "flag": ctx.alloc(1, ctx.INT, "cg.flag"),
+            "flag_g": ctx.alloc(1, ctx.INT, "cg.flag_g"),
+        }
+        rho = yield from self._dot(ctx, bufs, r, r)
+        rho0 = rho
+
+        ctx.set_phase("compute")
+        for it in range(iterations):
+            yield from ctx.progress(n_loc)
+            # Matvec: full-length partial from my columns, then
+            # reduce-scatter back to block ownership.
+            partial.view[:] = a_cols @ pvec.view
+            yield from ctx.Reduce_scatter(
+                partial.addr, y.addr, n_loc, ctx.DOUBLE, ctx.SUM, ctx.WORLD
+            )
+            denom = yield from self._dot(ctx, bufs, pvec.view, y.view)
+            yield from self.check_scalars(ctx, bufs, rho, denom)
+            if denom == 0.0:
+                ctx.app_error("CG: zero curvature (breakdown)")
+            alpha = rho / denom
+            x = x + alpha * pvec.view
+            r = r - alpha * y.view
+            rho_new = yield from self._dot(ctx, bufs, r, r)
+            beta = rho_new / rho if rho else 0.0
+            pvec.view[:] = r + beta * pvec.view
+            rho = rho_new
+
+        if not np.isfinite(rho) or rho > 10.0 * rho0:
+            ctx.app_error("CG: residual diverged")
+
+        ctx.set_phase("end")
+        counts = np.full(nranks, n_loc, dtype=np.int64)
+        displs = np.arange(nranks, dtype=np.int64) * n_loc
+        xbuf = ctx.alloc(n_loc, ctx.DOUBLE, "cg.x")
+        xbuf.view[:] = x
+        xfull = ctx.alloc(n, ctx.DOUBLE, "cg.xfull")
+        yield from ctx.Gatherv(
+            xbuf.addr, n_loc, xfull.addr, counts, displs, ctx.DOUBLE, 0, ctx.WORLD
+        )
+        return {
+            "rnorm": float(np.sqrt(max(rho, 0.0))),
+            "x_sum": float(xfull.view.sum()) if ctx.rank == 0 else None,
+        }

@@ -1,0 +1,135 @@
+"""FT — distributed 2-D spectral solver, NPB-FT shaped.
+
+Communication skeleton, as in NPB FT: config broadcast, per-iteration
+global transpose via ``Alltoall`` of complex blocks, time-evolution in
+spectral space, and a per-iteration ``Reduce`` of a complex checksum to
+the root (the collective the paper injects for Fig. 2).
+
+The grid is row-decomposed; the transpose packs the local block
+rank-major, exchanges, and reassembles the transposed layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ...simmpi import Context
+from ..base import Application
+
+
+class FTKernel(Application):
+    """2-D FFT evolution with per-iteration checksum reduction."""
+
+    name = "ft"
+    rtol = 1e-9
+
+    @classmethod
+    def class_params(cls, problem_class: str) -> dict[str, Any]:
+        return {
+            "T": dict(nranks=4, nx=16, ny=16, iterations=3, seed=42),
+            "S": dict(nranks=32, nx=64, ny=64, iterations=4, seed=42),
+            "A": dict(nranks=32, nx=128, ny=128, iterations=6, seed=42),
+        }[problem_class]
+
+    def check_field(self, ctx: Context, field: np.ndarray) -> Generator:
+        """Per-iteration global sanity check of the evolving field."""
+        flag = ctx.alloc(1, ctx.INT, "ft.flag")
+        out = ctx.alloc(1, ctx.INT, "ft.flag_g")
+        flag.view[0] = 0 if np.isfinite(field).all() else 1
+        yield from ctx.Allreduce(flag.addr, out.addr, 1, ctx.INT, ctx.MAX, ctx.WORLD)
+        if int(out.view[0]):
+            ctx.app_error("FT: non-finite values detected in the field")
+
+    def main(self, ctx: Context) -> Generator:
+        p = self.params
+        nranks = ctx.size
+
+        ctx.set_phase("input")
+        cfg = ctx.alloc(4, ctx.LONG, "ft.cfg")
+        if ctx.rank == 0:
+            cfg.view[:] = (p["nx"], p["ny"], p["iterations"], p["seed"])
+        yield from ctx.Bcast(cfg.addr, 4, ctx.LONG, 0, ctx.WORLD)
+        nx, ny, iterations, seed = (int(x) for x in cfg.view)
+        if not (0 < nx <= 1 << 14 and 0 < ny <= 1 << 14 and 0 < iterations <= 64):
+            ctx.app_error("FT: implausible configuration after broadcast")
+        if nx % nranks or ny % nranks:
+            ctx.app_error("FT: grid not divisible by communicator size")
+
+        ctx.set_phase("init")
+        rloc = nx // nranks  # local rows of the nx × ny grid
+        cloc = ny // nranks  # local columns after transpose
+        rng = np.random.default_rng(seed * 104729 + ctx.rank)
+        u = ctx.alloc(rloc * ny, ctx.DOUBLE_COMPLEX, "ft.u")
+        u.view[:] = (
+            rng.random(rloc * ny) + 1j * rng.random(rloc * ny)
+        ).astype(np.complex128)
+        sendbuf = ctx.alloc(rloc * ny, ctx.DOUBLE_COMPLEX, "ft.sendbuf")
+        recvbuf = ctx.alloc(cloc * nx, ctx.DOUBLE_COMPLEX, "ft.recvbuf")
+        csum = ctx.alloc(1, ctx.DOUBLE_COMPLEX, "ft.csum")
+        gsum = ctx.alloc(1, ctx.DOUBLE_COMPLEX, "ft.gsum")
+
+        # Spectral evolution factors for this rank's transposed columns.
+        kx = np.arange(cloc * nx).reshape(cloc, nx) % nx
+        factor = np.exp(-4e-6 * (kx.astype(np.float64) ** 2 + 1.0))
+
+        ctx.set_phase("compute")
+        checksums: list[complex] = []
+        for it in range(iterations):
+            yield from ctx.progress(rloc)
+            grid = u.view.reshape(rloc, ny)
+            f1 = np.fft.fft(grid, axis=1)
+
+            # Pack rank-major: block j holds my rows' columns for rank j.
+            blocks = f1.reshape(rloc, nranks, cloc).transpose(1, 0, 2)
+            sendbuf.view[:] = np.ascontiguousarray(blocks).reshape(-1)
+            yield from ctx.Alltoall(
+                sendbuf.addr, rloc * cloc, recvbuf.addr, rloc * cloc, ctx.DOUBLE_COMPLEX, ctx.WORLD
+            )
+
+            # Reassemble the transposed layout (cloc × nx) and transform.
+            t = np.empty((cloc, nx), dtype=np.complex128)
+            incoming = recvbuf.view.reshape(nranks, rloc, cloc)
+            for r in range(nranks):
+                t[:, r * rloc : (r + 1) * rloc] = incoming[r].T
+            f2 = np.fft.fft(t, axis=1)
+            f2 *= factor ** (it + 1)
+            yield from self.check_field(ctx, f2)
+
+            # Checksum: strided sample, reduced to root (NPB style).
+            csum.view[0] = complex(f2.reshape(-1)[:: max(1, (cloc * nx) // 97)].sum())
+            yield from ctx.Reduce(
+                csum.addr, gsum.addr, 1, ctx.DOUBLE_COMPLEX, ctx.SUM, 0, ctx.WORLD
+            )
+            if ctx.rank == 0:
+                total = complex(gsum.view[0])
+                if not np.isfinite(total.real) or abs(total) > 1e12:
+                    ctx.app_error("FT: checksum diverged")
+                checksums.append(total)
+
+            # Inverse path back to the row layout for the next iteration.
+            ib = np.fft.ifft(f2, axis=1)
+            outgoing = np.empty((nranks, cloc, rloc), dtype=np.complex128)
+            for r in range(nranks):
+                outgoing[r] = ib[:, r * rloc : (r + 1) * rloc]
+            sendbuf.view[:] = outgoing.reshape(-1)
+            yield from ctx.Alltoall(
+                sendbuf.addr, rloc * cloc, recvbuf.addr, rloc * cloc, ctx.DOUBLE_COMPLEX, ctx.WORLD
+            )
+            back = recvbuf.view.reshape(nranks, cloc, rloc)
+            rows = np.empty((rloc, ny), dtype=np.complex128)
+            for r in range(nranks):
+                rows[:, r * cloc : (r + 1) * cloc] = back[r].T
+            u.view[:] = np.fft.ifft(rows, axis=1).reshape(-1)
+
+        ctx.set_phase("end")
+        local_energy = float(np.vdot(u.view, u.view).real)
+        e = ctx.alloc(1, ctx.DOUBLE, "ft.energy")
+        ge = ctx.alloc(1, ctx.DOUBLE, "ft.energy_g")
+        e.view[0] = local_energy
+        yield from ctx.Allreduce(e.addr, ge.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        return {
+            "energy": float(ge.view[0]),
+            "checksums": [(c.real, c.imag) for c in checksums],
+        }

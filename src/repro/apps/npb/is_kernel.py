@@ -1,0 +1,172 @@
+"""IS — parallel integer (bucket) sort, NPB-IS shaped.
+
+Communication skeleton, as in NPB IS: a config broadcast, per-iteration
+``Alltoall`` of bucket counts followed by ``Alltoallv`` of the keys, an
+``Allreduce`` checksum for conservation checking, and partial
+verification each iteration.
+
+Fault characteristics (why IS is the paper's most crash-prone kernel,
+Fig. 7): keys are *used as indices* — a corrupted key indexes the bucket
+histogram out of range, and corrupted counts/displacements drive the
+``Alltoallv`` straight into unmapped memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ...simmpi import Context
+from ..base import Application
+
+
+class ISKernel(Application):
+    """Parallel bucket sort of uniformly random integer keys."""
+
+    name = "is"
+    rtol = 0.0  # integer results: exact comparison
+
+    @classmethod
+    def class_params(cls, problem_class: str) -> dict[str, Any]:
+        return {
+            "T": dict(nranks=4, keys_per_rank=128, max_key=1 << 10, iterations=2, seed=1201),
+            "S": dict(nranks=32, keys_per_rank=256, max_key=1 << 14, iterations=3, seed=1201),
+            "A": dict(nranks=32, keys_per_rank=2048, max_key=1 << 16, iterations=5, seed=1201),
+        }[problem_class]
+
+    # -- helpers (named per the ErrHal convention) ---------------------
+
+    def check_config(self, ctx: Context, cfg: np.ndarray) -> Generator:
+        """Validate the broadcast configuration on every rank."""
+        flag = ctx.alloc(1, ctx.INT, "is.cfgflag")
+        out = ctx.alloc(1, ctx.INT, "is.cfgflag_g")
+        bad = not (
+            0 < int(cfg[0]) <= 1 << 20 and 0 < int(cfg[1]) <= 1 << 30 and 0 < int(cfg[2]) <= 64
+        )
+        flag.view[0] = 1 if bad else 0
+        yield from ctx.Allreduce(flag.addr, out.addr, 1, ctx.INT, ctx.MAX, ctx.WORLD)
+        if int(out.view[0]):
+            ctx.app_error("IS: implausible configuration after broadcast")
+
+    def check_conservation(
+        self, ctx: Context, local_sum: int, expected: int | None
+    ) -> Generator:
+        """Global key-sum conservation check (NPB's full verification).
+
+        With ``expected=None`` only computes and returns the global sum.
+        """
+        s = ctx.alloc(1, ctx.LONG, "is.csum")
+        g = ctx.alloc(1, ctx.LONG, "is.csum_g")
+        s.view[0] = local_sum
+        yield from ctx.Allreduce(s.addr, g.addr, 1, ctx.LONG, ctx.SUM, ctx.WORLD)
+        total = int(g.view[0])
+        if expected is not None and total != expected:
+            ctx.app_error(f"IS: key checksum {total} != expected {expected}")
+        return total
+
+    # -- entry point -----------------------------------------------------
+
+    def main(self, ctx: Context) -> Generator:
+        p = self.params
+        nranks = ctx.size
+
+        ctx.set_phase("input")
+        cfg = ctx.alloc(4, ctx.LONG, "is.cfg")
+        if ctx.rank == 0:
+            cfg.view[:] = (p["keys_per_rank"], p["max_key"], p["iterations"], p["seed"])
+        yield from ctx.Bcast(cfg.addr, 4, ctx.LONG, 0, ctx.WORLD)
+        yield from self.check_config(ctx, cfg.view)
+        nkeys, max_key, iterations, seed = (int(x) for x in cfg.view)
+
+        ctx.set_phase("init")
+        rng = np.random.default_rng(seed * 7919 + ctx.rank)
+        keys = ctx.alloc(nkeys, ctx.INT, "is.keys")
+        keys.view[:] = rng.integers(0, max_key, size=nkeys, dtype=np.int32)
+        capacity = 4 * nkeys
+        sendbuf = ctx.alloc(capacity, ctx.INT, "is.sendbuf")
+        recvbuf = ctx.alloc(capacity, ctx.INT, "is.recvbuf")
+        scounts = ctx.alloc(nranks, ctx.INT, "is.scounts")
+        rcounts = ctx.alloc(nranks, ctx.INT, "is.rcounts")
+        base_sum = int(keys.view.astype(np.int64).sum())
+        yield from self.check_conservation(ctx, base_sum, None)
+
+        ctx.set_phase("compute")
+        sorted_keys = np.empty(0, dtype=np.int32)
+        for it in range(iterations):
+            # NPB-style perturbation: two keys change every iteration.
+            keys.view[it % nkeys] = it
+            keys.view[(it + nkeys // 2) % nkeys] = max_key - 1 - it
+            yield from ctx.progress(nkeys // 8)
+
+            # Bucket histogram: keys used as indices (crash surface).
+            buckets = (keys.view.astype(np.int64) * nranks) // max_key
+            counts = np.zeros(nranks, dtype=np.int64)
+            np.add.at(counts, buckets, 1)  # IndexError on corrupted keys
+            scounts.view[:] = counts.astype(np.int32)
+
+            # Pack keys bucket-major.
+            order = np.argsort(buckets, kind="stable")
+            sendbuf.view[:nkeys] = keys.view[order]
+
+            yield from ctx.Alltoall(scounts.addr, 1, rcounts.addr, 1, ctx.INT, ctx.WORLD)
+
+            rc = rcounts.view.astype(np.int64)
+            total_recv = int(rc.sum())
+            if total_recv < 0 or total_recv > capacity:
+                ctx.app_error(f"IS: implausible incoming key count {total_recv}")
+
+            sdispls = np.zeros(nranks, dtype=np.int64)
+            sdispls[1:] = np.cumsum(counts)[:-1]
+            rdispls = np.zeros(nranks, dtype=np.int64)
+            rdispls[1:] = np.cumsum(rc)[:-1]
+            yield from ctx.Alltoallv(
+                sendbuf.addr,
+                counts.copy(),
+                sdispls,
+                recvbuf.addr,
+                rc.copy(),
+                rdispls,
+                ctx.INT,
+                ctx.WORLD,
+            )
+
+            received = recvbuf.view[: max(0, min(total_recv, capacity))]
+            # Partial verification (as in NPB IS): every received key must
+            # belong to this rank's bucket range.
+            lo = (ctx.rank * max_key) // nranks
+            hi = ((ctx.rank + 1) * max_key) // nranks
+            if received.size and (int(received.min()) < lo or int(received.max()) >= hi):
+                ctx.app_error(
+                    f"IS: received key outside bucket [{lo}, {hi}) at iteration {it}"
+                )
+            sorted_keys = np.sort(received)
+            # Conservation: globally, keys received must sum to keys sent.
+            local_sum = int(sorted_keys.astype(np.int64).sum())
+            my_before = int(keys.view.astype(np.int64).sum())
+            yield from self.check_conservation(ctx, local_sum - my_before, 0)
+
+        ctx.set_phase("end")
+        mn = ctx.alloc(2, ctx.LONG, "is.minmax")
+        gmn = ctx.alloc(2 * nranks, ctx.LONG, "is.minmax_g")
+        if sorted_keys.size:
+            mn.view[:] = (int(sorted_keys[0]), int(sorted_keys[-1]))
+        else:
+            mn.view[:] = (-1, -1)
+        yield from ctx.Allgather(mn.addr, 2, gmn.addr, 2, ctx.LONG, ctx.WORLD)
+        pairs = gmn.view.reshape(nranks, 2)
+        prev_max = -1
+        for r in range(nranks):
+            lo_r, hi_r = int(pairs[r, 0]), int(pairs[r, 1])
+            if lo_r < 0:
+                continue
+            if lo_r < prev_max:
+                ctx.app_error("IS: global ordering violated across ranks")
+            prev_max = hi_r
+
+        sig_xor = int(np.bitwise_xor.reduce(sorted_keys)) if sorted_keys.size else 0
+        return {
+            "count": int(sorted_keys.size),
+            "sum": int(sorted_keys.astype(np.int64).sum()),
+            "xor": sig_xor,
+        }

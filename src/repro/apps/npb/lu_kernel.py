@@ -1,0 +1,178 @@
+"""LU — pipelined SSOR solver, NPB-LU shaped.
+
+Communication skeleton, as in NPB LU: config broadcast, *wavefront*
+pipelining — during the forward sweep each rank waits for the freshly
+updated boundary row from the rank below it, sweeps its own rows, and
+forwards its last row upward (the reverse sweep runs the pipeline the
+other way) — a per-iteration ``Allreduce`` of the five residual norms
+(NPB's five equations, here five column-strided components), and
+periodic ``Barrier`` synchronisation.
+
+This is the workload whose ``MPI_Allreduce`` the paper injects for
+Fig. 1 (all ranks equivalent for a non-rooted collective).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ...simmpi import Context
+from ..base import Application
+
+
+class LUKernel(Application):
+    """SSOR iteration for a 2-D Poisson problem, row-block decomposed."""
+
+    name = "lu"
+    rtol = 1e-9
+
+    @classmethod
+    def class_params(cls, problem_class: str) -> dict[str, Any]:
+        return {
+            "T": dict(nranks=4, rows_per_rank=8, ncols=32, iterations=8, omega=1.2, seed=99),
+            "S": dict(nranks=32, rows_per_rank=4, ncols=64, iterations=10, omega=1.2, seed=99),
+            "A": dict(nranks=32, rows_per_rank=16, ncols=128, iterations=25, omega=1.2, seed=99),
+        }[problem_class]
+
+    # -- helpers ---------------------------------------------------------
+
+    def check_norms(self, ctx: Context, partial: np.ndarray, bufs: dict) -> Generator:
+        """Allreduce the five residual-norm components and sanity-check
+        them (NPB LU aborts on non-finite RSD norms)."""
+        s, g = bufs["nrm"], bufs["nrm_g"]
+        s.view[:] = partial
+        yield from ctx.Allreduce(s.addr, g.addr, 5, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        norms = np.sqrt(np.maximum(g.view.copy(), 0.0))
+        if not np.isfinite(norms).all():
+            ctx.app_error("LU: residual norms are not finite")
+        return norms
+
+    @staticmethod
+    def _residual(u: np.ndarray, f: np.ndarray, h2: float, below: np.ndarray, above: np.ndarray) -> np.ndarray:
+        padded = np.zeros((u.shape[0] + 2, u.shape[1] + 2))
+        padded[1:-1, 1:-1] = u
+        padded[0, 1:-1] = below
+        padded[-1, 1:-1] = above
+        lap = (
+            4.0 * padded[1:-1, 1:-1]
+            - padded[:-2, 1:-1]
+            - padded[2:, 1:-1]
+            - padded[1:-1, :-2]
+            - padded[1:-1, 2:]
+        )
+        return f - lap / h2
+
+    # -- entry point -------------------------------------------------------
+
+    def main(self, ctx: Context) -> Generator:
+        p = self.params
+        nranks = ctx.size
+        me = ctx.rank
+
+        ctx.set_phase("input")
+        cfg = ctx.alloc(6, ctx.LONG, "lu.cfg")
+        if ctx.rank == 0:
+            cfg.view[:] = (
+                p["rows_per_rank"],
+                p["ncols"],
+                p["iterations"],
+                int(p["omega"] * 1000),
+                p["seed"],
+                0,
+            )
+        yield from ctx.Bcast(cfg.addr, 6, ctx.LONG, 0, ctx.WORLD)
+        nrows, ncols, iterations, omega_fx, seed = (int(x) for x in cfg.view[:5])
+        if not (0 < nrows <= 4096 and 0 < ncols <= 4096 and 0 < iterations <= 1024):
+            ctx.app_error("LU: implausible configuration after broadcast")
+        omega = omega_fx / 1000.0
+
+        ctx.set_phase("init")
+        n_global_rows = nrows * nranks
+        h = 1.0 / (max(n_global_rows, ncols) + 1)
+        h2 = h * h
+        rng = np.random.default_rng(seed * 7907 + me)
+        f = 1.0 + 0.1 * rng.standard_normal((nrows, ncols))
+        u = ctx.alloc(nrows * ncols, ctx.DOUBLE, "lu.u")
+        u.view[:] = 0.0
+        row_dn_s = ctx.alloc(ncols, ctx.DOUBLE, "lu.row_dn_s")
+        row_up_s = ctx.alloc(ncols, ctx.DOUBLE, "lu.row_up_s")
+        row_dn_r = ctx.alloc(ncols, ctx.DOUBLE, "lu.row_dn_r")
+        row_up_r = ctx.alloc(ncols, ctx.DOUBLE, "lu.row_up_r")
+        bufs = {
+            "nrm": ctx.alloc(5, ctx.DOUBLE, "lu.nrm"),
+            "nrm_g": ctx.alloc(5, ctx.DOUBLE, "lu.nrm_g"),
+        }
+        yield from ctx.Barrier(ctx.WORLD)
+
+        def partial_norms(r: np.ndarray) -> np.ndarray:
+            return np.array([float((r[:, k::5] ** 2).sum()) for k in range(5)])
+
+        ctx.set_phase("compute")
+        grid = u.view.reshape(nrows, ncols)
+        zero = np.zeros(ncols)
+        below = zero.copy()
+        above = zero.copy()
+        r = self._residual(grid, f, h2, below, above)
+        norms0 = yield from self.check_norms(ctx, partial_norms(r), bufs)
+        norms = norms0.copy()
+
+        for it in range(iterations):
+            yield from ctx.progress(nrows)
+            # Forward wavefront: wait for the updated boundary row from
+            # the rank below, sweep upward, forward our top row.
+            if me > 0:
+                yield from ctx.Recv(row_dn_r.addr, ncols, ctx.DOUBLE, me - 1, 2 * it, ctx.WORLD)
+                below = row_dn_r.view.copy()
+            else:
+                below = zero
+            g = grid
+            for i in range(nrows):
+                lower = below if i == 0 else g[i - 1]
+                upper = g[i + 1] if i + 1 < nrows else above
+                left = np.concatenate(([0.0], g[i, :-1]))
+                right = np.concatenate((g[i, 1:], [0.0]))
+                gs = 0.25 * (lower + upper + left + right + h2 * f[i])
+                g[i] = g[i] + omega * (gs - g[i])
+            if me + 1 < nranks:
+                row_up_s.view[:] = g[-1]
+                yield from ctx.Send(row_up_s.addr, ncols, ctx.DOUBLE, me + 1, 2 * it, ctx.WORLD)
+
+            # Reverse wavefront.
+            if me + 1 < nranks:
+                yield from ctx.Recv(
+                    row_up_r.addr, ncols, ctx.DOUBLE, me + 1, 2 * it + 1, ctx.WORLD
+                )
+                above = row_up_r.view.copy()
+            else:
+                above = zero
+            for i in range(nrows - 1, -1, -1):
+                lower = below if i == 0 else g[i - 1]
+                upper = g[i + 1] if i + 1 < nrows else above
+                left = np.concatenate(([0.0], g[i, :-1]))
+                right = np.concatenate((g[i, 1:], [0.0]))
+                gs = 0.25 * (lower + upper + left + right + h2 * f[i])
+                g[i] = g[i] + omega * (gs - g[i])
+            if me > 0:
+                row_dn_s.view[:] = g[0]
+                yield from ctx.Send(row_dn_s.addr, ncols, ctx.DOUBLE, me - 1, 2 * it + 1, ctx.WORLD)
+
+            r = self._residual(g, f, h2, below, above)
+            norms = yield from self.check_norms(ctx, partial_norms(r), bufs)
+            if (it + 1) % 5 == 0:
+                yield from ctx.Barrier(ctx.WORLD)
+
+        if float(norms.sum()) > 10.0 * float(norms0.sum()) + 1e-30:
+            ctx.app_error("LU: SSOR diverged")
+
+        ctx.set_phase("end")
+        s = ctx.alloc(1, ctx.DOUBLE, "lu.sum")
+        gsum = ctx.alloc(1, ctx.DOUBLE, "lu.sum_g")
+        s.view[0] = float(grid.sum())
+        yield from ctx.Allreduce(s.addr, gsum.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        yield from ctx.Barrier(ctx.WORLD)
+        return {
+            "norms": [float(x) for x in norms],
+            "checksum": float(gsum.view[0]),
+        }

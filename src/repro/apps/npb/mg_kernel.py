@@ -1,0 +1,255 @@
+"""MG — distributed multigrid V-cycle on a 1-D Poisson problem.
+
+Communication skeleton, as in NPB MG: config broadcast, halo exchange
+with neighbour ranks (point-to-point ``Sendrecv``), an ``Allreduce`` of
+the residual L2 norm per V-cycle plus an ``Allreduce`` MAX diagnostic,
+and convergence-driven iteration — which is what makes MG a natural
+``INF_LOOP`` producer under data corruption: a corrupted field may never
+converge, and the run is killed by the step budget, exactly like the
+paper's timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ...simmpi import Context
+from ..base import Application
+
+
+class MGKernel(Application):
+    """Multigrid V-cycle solver for -u'' = f with homogeneous Dirichlet BCs."""
+
+    name = "mg"
+    rtol = 1e-8
+
+    @classmethod
+    def class_params(cls, problem_class: str) -> dict[str, Any]:
+        return {
+            "T": dict(nranks=4, points_per_rank=64, levels=5, tol=1e-5, max_cycles=40, seed=7),
+            "S": dict(nranks=32, points_per_rank=64, levels=5, tol=1e-5, max_cycles=40, seed=7),
+            "A": dict(nranks=32, points_per_rank=256, levels=7, tol=1e-7, max_cycles=80, seed=7),
+        }[problem_class]
+
+    # -- numerics -------------------------------------------------------
+
+    @staticmethod
+    def _smooth(u: np.ndarray, f: np.ndarray, h2: float, left: float, right: float) -> np.ndarray:
+        """One weighted-Jacobi sweep with halo values ``left``/``right``."""
+        full = np.empty(u.size + 2)
+        full[0], full[-1] = left, right
+        full[1:-1] = u
+        jac = 0.5 * (full[:-2] + full[2:] + h2 * f)
+        return u + 0.8 * (jac - u)
+
+    @staticmethod
+    def _residual(u: np.ndarray, f: np.ndarray, h2: float, left: float, right: float) -> np.ndarray:
+        full = np.empty(u.size + 2)
+        full[0], full[-1] = left, right
+        full[1:-1] = u
+        return f - (2.0 * u - full[:-2] - full[2:]) / h2
+
+    def _halo(self, ctx: Context, u: np.ndarray, bufs: dict, tag: int) -> Generator:
+        """Exchange boundary values with neighbours; returns (left, right).
+
+        Domain boundaries use the Dirichlet value 0.
+        """
+        me, n = ctx.rank, ctx.size
+        sl, sr, rl, rr = bufs["sl"], bufs["sr"], bufs["rl"], bufs["rr"]
+        sl.view[0] = u[0]
+        sr.view[0] = u[-1]
+        left = right = 0.0
+        if me + 1 < n:
+            yield from ctx.Send(sr.addr, 1, ctx.DOUBLE, me + 1, tag, ctx.WORLD)
+        if me > 0:
+            yield from ctx.Send(sl.addr, 1, ctx.DOUBLE, me - 1, tag, ctx.WORLD)
+        if me > 0:
+            yield from ctx.Recv(rl.addr, 1, ctx.DOUBLE, me - 1, tag, ctx.WORLD)
+            left = float(rl.view[0])
+        if me + 1 < n:
+            yield from ctx.Recv(rr.addr, 1, ctx.DOUBLE, me + 1, tag, ctx.WORLD)
+            right = float(rr.view[0])
+        return left, right
+
+    def check_norm(self, ctx: Context, local_sq: float, bufs: dict) -> Generator:
+        """Global residual norms: Allreduce SUM of squares + MAX diagnostic.
+
+        Aborts on non-finite norms (NPB MG's norm sanity checking).
+        """
+        s, g = bufs["nrm"], bufs["nrm_g"]
+        s.view[0] = local_sq
+        s.view[1] = local_sq
+        yield from ctx.Allreduce(s.addr, g.addr, 2, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        total = float(g.view[0])
+        yield from ctx.Allreduce(s.addr, g.addr, 1, ctx.DOUBLE, ctx.MAX, ctx.WORLD)
+        if not np.isfinite(total) or not np.isfinite(float(g.view[0])):
+            ctx.app_error("MG: residual norm is not finite")
+        return float(np.sqrt(max(total, 0.0)))
+
+    # -- entry point ------------------------------------------------------
+
+    def main(self, ctx: Context) -> Generator:
+        p = self.params
+        nranks = ctx.size
+
+        ctx.set_phase("input")
+        cfg = ctx.alloc(6, ctx.LONG, "mg.cfg")
+        if ctx.rank == 0:
+            cfg.view[:] = (
+                p["points_per_rank"],
+                p["levels"],
+                int(p["tol"] * 1e16),
+                p["max_cycles"],
+                p["seed"],
+                0,
+            )
+        yield from ctx.Bcast(cfg.addr, 6, ctx.LONG, 0, ctx.WORLD)
+        npts, levels, tol_fx, max_cycles, seed = (int(x) for x in cfg.view[:5])
+        if not (2 <= npts <= 1 << 20 and 1 <= levels <= 12 and 0 < max_cycles <= 10_000):
+            ctx.app_error("MG: implausible configuration after broadcast")
+        tol = tol_fx / 1e16
+        if npts >> (levels - 1) < 2:
+            ctx.app_error("MG: too many levels for the local grid")
+
+        ctx.set_phase("init")
+        n_global = npts * nranks
+        h = 1.0 / (n_global + 1)
+        xs = (np.arange(npts) + ctx.rank * npts + 1) * h
+        rng = np.random.default_rng(seed * 31337 + ctx.rank)
+        f = np.sin(np.pi * xs) + 0.1 * rng.standard_normal(npts)
+        u = ctx.alloc(npts, ctx.DOUBLE, "mg.u")
+        u.view[:] = 0.0
+        bufs = {
+            "sl": ctx.alloc(1, ctx.DOUBLE, "mg.sl"),
+            "sr": ctx.alloc(1, ctx.DOUBLE, "mg.sr"),
+            "rl": ctx.alloc(1, ctx.DOUBLE, "mg.rl"),
+            "rr": ctx.alloc(1, ctx.DOUBLE, "mg.rr"),
+            "nrm": ctx.alloc(2, ctx.DOUBLE, "mg.nrm"),
+            "nrm_g": ctx.alloc(2, ctx.DOUBLE, "mg.nrm_g"),
+        }
+        yield from ctx.Barrier(ctx.WORLD)
+
+        ctx.set_phase("compute")
+        left, right = yield from self._halo(ctx, u.view, bufs, tag=0)
+        r = self._residual(u.view, f, h * h, left, right)
+        r0 = yield from self.check_norm(ctx, float(r @ r), bufs)
+        norm = r0
+        cycles = 0
+        tag = 1
+        while norm > tol * max(r0, 1e-300) and cycles < max_cycles:
+            yield from ctx.progress(npts // 4 + 1)
+            u.view[:] = yield from self._vcycle(
+                ctx, u.view.copy(), f, h, levels, bufs, tag
+            )
+            tag += levels * 16 + 16
+            left, right = yield from self._halo(ctx, u.view, bufs, tag=tag)
+            tag += 1
+            r = self._residual(u.view, f, h * h, left, right)
+            norm = yield from self.check_norm(ctx, float(r @ r), bufs)
+            cycles += 1
+
+        if norm > 1e3 * r0:
+            ctx.app_error("MG: solver diverged")
+
+        ctx.set_phase("end")
+        local_sum = float(u.view.sum())
+        s = ctx.alloc(1, ctx.DOUBLE, "mg.sum")
+        g = ctx.alloc(1, ctx.DOUBLE, "mg.sum_g")
+        s.view[0] = local_sum
+        yield from ctx.Allreduce(s.addr, g.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        return {
+            "cycles": cycles,
+            "final_norm": norm,
+            "solution_sum": float(g.view[0]),
+        }
+
+    def _coarse_solve(self, ctx: Context, f: np.ndarray, h2: float, bufs: dict) -> Generator:
+        """Exact coarsest-grid solve: Gather → Thomas → Scatter."""
+        m = f.size
+        nranks = ctx.size
+        fl = ctx.alloc(m, ctx.DOUBLE, "mg.coarse_f")
+        fg = ctx.alloc(m * nranks, ctx.DOUBLE, "mg.coarse_fg")
+        ul = ctx.alloc(m, ctx.DOUBLE, "mg.coarse_u")
+        ug = ctx.alloc(m * nranks, ctx.DOUBLE, "mg.coarse_ug")
+        fl.view[:] = f
+        yield from ctx.Gather(fl.addr, m, fg.addr, m, ctx.DOUBLE, 0, ctx.WORLD)
+        if ctx.rank == 0:
+            rhs = fg.view.copy() * h2
+            n = rhs.size
+            # Thomas algorithm for the tridiagonal (-1, 2, -1) system.
+            c = np.empty(n)
+            d = np.empty(n)
+            c[0] = -0.5
+            d[0] = rhs[0] / 2.0
+            for i in range(1, n):
+                denom = 2.0 + c[i - 1]
+                c[i] = -1.0 / denom
+                d[i] = (rhs[i] + d[i - 1]) / denom
+            x = np.empty(n)
+            x[-1] = d[-1]
+            for i in range(n - 2, -1, -1):
+                x[i] = d[i] - c[i] * x[i + 1]
+            ug.view[:] = x
+        yield from ctx.Scatter(ug.addr, m, ul.addr, m, ctx.DOUBLE, 0, ctx.WORLD)
+        return ul.view.copy()
+
+    def _vcycle(
+        self,
+        ctx: Context,
+        u: np.ndarray,
+        f: np.ndarray,
+        h: float,
+        levels: int,
+        bufs: dict,
+        tag: int,
+    ) -> Generator:
+        """One V-cycle over ``levels`` grids (recursive, with halos).
+
+        The coarsest grid is gathered to rank 0, solved exactly with the
+        Thomas algorithm, and scattered back.
+        """
+        h2 = h * h
+        if levels == 1 or u.size < 4:
+            u = yield from self._coarse_solve(ctx, f, h2, bufs)
+            return u
+
+        for s in range(3):  # pre-smooth
+            left, right = yield from self._halo(ctx, u, bufs, tag=tag + s)
+            u = self._smooth(u, f, h2, left, right)
+
+        left, right = yield from self._halo(ctx, u, bufs, tag=tag + 3)
+        res = self._residual(u, f, h2, left, right)
+
+        # Restriction: adjoint of the linear prolongation (needs the
+        # neighbours' boundary residuals).
+        lres, rres = yield from self._halo(ctx, res, bufs, tag=tag + 4)
+        ext = np.empty(res.size + 2)
+        ext[0], ext[-1] = lres, rres
+        ext[1:-1] = res
+        coarse_f = 0.5 * (
+            0.75 * ext[1:-1:2]
+            + 0.75 * ext[2::2]
+            + 0.25 * ext[:-2:2]
+            + 0.25 * ext[3::2]
+        )
+        coarse_u = np.zeros(coarse_f.size)
+        coarse_u = yield from self._vcycle(
+            ctx, coarse_u, coarse_f, 2 * h, levels - 1, bufs, tag + 16
+        )
+
+        # Linear prolongation; coarse ghosts come from the neighbours.
+        lc, rc = yield from self._halo(ctx, coarse_u, bufs, tag=tag + 5)
+        cext = np.empty(coarse_u.size + 2)
+        cext[0], cext[-1] = lc, rc
+        cext[1:-1] = coarse_u
+        corr = np.empty(u.size)
+        corr[0::2] = 0.75 * coarse_u + 0.25 * cext[:-2]
+        corr[1::2] = 0.75 * coarse_u + 0.25 * cext[2:]
+        u = u + corr
+
+        for s in range(3):  # post-smooth
+            left, right = yield from self._halo(ctx, u, bufs, tag=tag + 6 + s)
+            u = self._smooth(u, f, h2, left, right)
+        return u

@@ -1,0 +1,31 @@
+"""Workload registry: name → application factory."""
+
+from __future__ import annotations
+
+from .base import Application
+from .lammps.minimd import MiniMD
+from .npb.cg_kernel import CGKernel
+from .npb.ft_kernel import FTKernel
+from .npb.is_kernel import ISKernel
+from .npb.lu_kernel import LUKernel
+from .npb.mg_kernel import MGKernel
+
+#: All registered applications, keyed by registry name.
+APPLICATIONS: dict[str, type[Application]] = {
+    cls.name: cls for cls in (ISKernel, FTKernel, MGKernel, LUKernel, CGKernel, MiniMD)
+}
+
+#: The NPB subset the paper evaluates (Figs. 7–9, Table III).  CG is an
+#: extension workload and deliberately not part of the paper set.
+NPB_NAMES = ("is", "ft", "mg", "lu")
+
+
+def make_app(name: str, problem_class: str = "T") -> Application:
+    """Instantiate a registered application by name and problem class."""
+    try:
+        cls = APPLICATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; registered: {sorted(APPLICATIONS)}"
+        ) from None
+    return cls.from_problem_class(problem_class)

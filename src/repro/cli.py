@@ -1,0 +1,190 @@
+"""Command-line interface for FastFIT.
+
+Usage (``python -m repro`` or the ``fastfit`` entry point)::
+
+    fastfit apps
+    fastfit profile  --app lammps --problem-class T
+    fastfit prune    --app lu     --problem-class S
+    fastfit campaign --app mg     --tests 20 --policy buffer
+    fastfit learn    --app lammps --threshold 0.65
+    fastfit study    --app lammps --threshold 0.65
+
+Every subcommand prints ASCII tables in the style of the paper's
+evaluation section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import PAPER_3_LEVELS, level_distribution, render_bars, render_grouped_bars, render_table
+from .apps import APPLICATIONS, make_app
+from .fastfit import FastFIT
+
+
+def _add_app_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--app", required=True, choices=sorted(APPLICATIONS))
+    p.add_argument("--problem-class", default="T", choices=("T", "S", "A"))
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_campaign_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--tests", type=int, default=20, help="tests per injection point")
+    p.add_argument(
+        "--policy",
+        default="buffer",
+        help='fault target policy: "buffer", "all", or a parameter name',
+    )
+    p.add_argument("--max-points", type=int, default=None, help="cap representative points")
+
+
+def _tool(args: argparse.Namespace) -> FastFIT:
+    return FastFIT(
+        make_app(args.app, args.problem_class),
+        seed=args.seed,
+        tests_per_point=getattr(args, "tests", 20),
+        param_policy=getattr(args, "policy", "buffer"),
+    )
+
+
+def cmd_apps(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, cls in sorted(APPLICATIONS.items()):
+        for klass in ("T", "S", "A"):
+            params = cls.class_params(klass)
+            nranks = params.pop("nranks")
+            rows.append([name, klass, nranks, ", ".join(f"{k}={v}" for k, v in sorted(params.items()))])
+    print(render_table(["app", "class", "ranks", "parameters"], rows, title="registered workloads"))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    ff = _tool(args)
+    profile = ff.profile()
+    print(
+        f"{profile.app_name} ({args.problem_class}): {profile.nranks} ranks, "
+        f"{profile.total_injection_points()} injection points, "
+        f"{profile.golden_steps} golden events"
+    )
+    mix = profile.comm.collective_mix()
+    total = sum(mix.values()) or 1
+    print()
+    print(render_bars({k: v / total for k, v in sorted(mix.items())}, title="collective mix"))
+    rows = [
+        [s.site_key[0], s.site_key[1], s.n_invocations, s.n_diff_stacks, f"{s.avg_stack_depth:.1f}"]
+        for s in profile.sites_of_rank(0)
+    ]
+    print()
+    print(render_table(["collective", "site", "nInv", "nDiffStack", "StackDep"], rows, title="rank 0 call sites"))
+    return 0
+
+
+def cmd_prune(args: argparse.Namespace) -> int:
+    ff = _tool(args)
+    pr = ff.prune()
+    print(
+        render_table(
+            ["total points", "MPI (semantic)", "App (context)", "representatives"],
+            [
+                [
+                    pr.total_points,
+                    f"{pr.semantic_reduction:.2%}",
+                    f"{pr.context_reduction:.2%}",
+                    len(pr.representative_points),
+                ]
+            ],
+            title=f"pruning report for {args.app}/{args.problem_class}",
+        )
+    )
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    ff = _tool(args)
+    points = ff.prune().representative_points
+    if args.max_points is not None:
+        points = points[: args.max_points]
+    campaign = ff.campaign(points=points)
+    print(
+        render_bars(
+            {o.value: f for o, f in campaign.outcome_fractions().items()},
+            title=f"response types ({len(points)} points × {args.tests} tests, policy={args.policy})",
+        )
+    )
+    print()
+    groups = {
+        coll: level_distribution(sub.error_rates(), PAPER_3_LEVELS)
+        for coll, sub in sorted(campaign.by_collective().items())
+    }
+    print(render_grouped_bars(groups, title="error-rate levels per collective"))
+    return 0
+
+
+def cmd_learn(args: argparse.Namespace) -> int:
+    ff = _tool(args)
+    ml = ff.learn(threshold=args.threshold, batch_size=args.batch_size)
+    print(
+        f"tested {len(ml.tested)} points, predicted {len(ml.predicted)} "
+        f"({ml.test_reduction:.1%} of tests skipped); "
+        f"threshold {'reached' if ml.reached_threshold else 'NOT reached'}"
+    )
+    if ml.accuracy_history:
+        print("verification accuracy per batch: " + ", ".join(f"{a:.0%}" for a in ml.accuracy_history))
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    ff = _tool(args)
+    threshold = None if args.no_ml else args.threshold
+    report = ff.run(threshold=threshold)
+    print(report.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fastfit", description="Fast fault injection and sensitivity analysis"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list registered workloads").set_defaults(fn=cmd_apps)
+
+    p = sub.add_parser("profile", help="profiling phase: sites, stacks, mix")
+    _add_app_args(p)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("prune", help="semantic + context pruning report")
+    _add_app_args(p)
+    p.set_defaults(fn=cmd_prune)
+
+    p = sub.add_parser("campaign", help="fault-injection campaign over representatives")
+    _add_app_args(p)
+    _add_campaign_args(p)
+    p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("learn", help="ML-driven campaign (inject → learn → predict)")
+    _add_app_args(p)
+    _add_campaign_args(p)
+    p.add_argument("--threshold", type=float, default=0.65)
+    p.add_argument("--batch-size", type=int, default=None)
+    p.set_defaults(fn=cmd_learn)
+
+    p = sub.add_parser("study", help="full study: profile → prune → campaign/learn")
+    _add_app_args(p)
+    _add_campaign_args(p)
+    p.add_argument("--threshold", type=float, default=0.65)
+    p.add_argument("--no-ml", action="store_true", help="skip the ML stage (NPB-style rows)")
+    p.set_defaults(fn=cmd_study)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""The FastFIT facade — profiling, pruning, injection, learning.
+
+Mirrors the tool architecture of the paper's Fig. 5: a profiling phase
+(communication profile, call graphs, call stacks), a pruning stage
+(semantic + application context), and the coupled injection/learning
+loop, with a Table III-style summary at the end.
+
+Typical use::
+
+    from repro import FastFIT
+    ff = FastFIT.for_app("lammps", "T", tests_per_point=30)
+    report = ff.run(threshold=0.65)
+    print(report.describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .analysis.reports import render_table
+from .apps.base import Application
+from .apps.registry import make_app
+from .injection.campaign import Campaign, CampaignResult
+from .injection.space import InjectionPoint, enumerate_points
+from .profiling.profiler import ApplicationProfile, profile_application
+from .pruning.context import ContextSelection, select_context
+from .pruning.mldriven import Labeler, MLDrivenResult, ml_driven_campaign
+from .pruning.semantic import SemanticSelection, select_semantic
+
+
+@dataclass
+class PruningReport:
+    """Exploration-space reduction from the two static techniques."""
+
+    total_points: int
+    semantic: SemanticSelection
+    context: ContextSelection
+
+    @property
+    def representative_points(self) -> list[InjectionPoint]:
+        return self.context.selected_points_list
+
+    @property
+    def semantic_reduction(self) -> float:
+        """The "MPI" column of Table III."""
+        return self.semantic.reduction
+
+    @property
+    def context_reduction(self) -> float:
+        """The "App" column: further reduction over the semantic
+        survivors."""
+        return self.context.reduction
+
+    @property
+    def combined_reduction(self) -> float:
+        if self.total_points == 0:
+            return 0.0
+        return 1.0 - len(self.representative_points) / self.total_points
+
+
+@dataclass
+class FastFITReport:
+    """End-to-end result of one FastFIT study."""
+
+    app_name: str
+    pruning: PruningReport
+    ml: MLDrivenResult | None = None
+    campaign: CampaignResult | None = None
+
+    @property
+    def ml_reduction(self) -> float | None:
+        """The "ML" column of Table III (``None`` = not applied)."""
+        return self.ml.test_reduction if self.ml is not None else None
+
+    @property
+    def total_reduction(self) -> float:
+        """The "Total" column: fraction of the unpruned point space whose
+        tests never ran."""
+        total = self.pruning.total_points
+        if total == 0:
+            return 0.0
+        if self.ml is not None:
+            tested = len(self.ml.tested)
+        else:
+            tested = len(self.pruning.representative_points)
+        return 1.0 - tested / total
+
+    def table3_row(self) -> dict[str, float | None]:
+        return {
+            "MPI": self.pruning.semantic_reduction,
+            "App": self.pruning.context_reduction,
+            "ML": self.ml_reduction,
+            "Total": self.total_reduction,
+        }
+
+    def describe(self) -> str:
+        row = self.table3_row()
+        cells = [
+            self.app_name,
+            f"{row['MPI'] * 100:.2f}%",
+            f"{row['App'] * 100:.2f}%",
+            "NA" if row["ML"] is None else f"{row['ML'] * 100:.2f}%",
+            f"{row['Total'] * 100:.2f}%",
+        ]
+        return render_table(["App", "MPI", "App-ctx", "ML", "Total"], [cells])
+
+
+class FastFIT:
+    """Fast Fault Injection and Sensitivity Analysis Tool."""
+
+    def __init__(
+        self,
+        app: Application,
+        seed: int = 0,
+        tests_per_point: int = 40,
+        param_policy: str = "buffer",
+    ):
+        self.app = app
+        self.seed = seed
+        self.tests_per_point = tests_per_point
+        self.param_policy = param_policy
+        self._profile: ApplicationProfile | None = None
+        self._pruning: PruningReport | None = None
+
+    @classmethod
+    def for_app(cls, name: str, problem_class: str = "T", **kwargs) -> "FastFIT":
+        return cls(make_app(name, problem_class), **kwargs)
+
+    # -- phases -----------------------------------------------------------
+
+    def profile(self) -> ApplicationProfile:
+        """Profiling phase (one-time cost, cached)."""
+        if self._profile is None:
+            self._profile = profile_application(self.app)
+        return self._profile
+
+    def prune(self) -> PruningReport:
+        """Semantic + application-context pruning (cached)."""
+        if self._pruning is None:
+            profile = self.profile()
+            semantic = select_semantic(profile)
+            context = select_context(profile, semantic.selected_points_list)
+            self._pruning = PruningReport(
+                total_points=len(enumerate_points(profile)),
+                semantic=semantic,
+                context=context,
+            )
+        return self._pruning
+
+    def campaign(
+        self, points: Sequence[InjectionPoint] | None = None, tests_per_point: int | None = None
+    ) -> CampaignResult:
+        """A traditional campaign over ``points`` (default: the pruned
+        representatives)."""
+        if points is None:
+            points = self.prune().representative_points
+        runner = Campaign(
+            self.app,
+            self.profile(),
+            tests_per_point=tests_per_point or self.tests_per_point,
+            param_policy=self.param_policy,
+            seed=self.seed,
+        )
+        return runner.run(points)
+
+    def learn(
+        self,
+        threshold: float = 0.65,
+        labeler: Labeler | None = None,
+        label_names: tuple[str, ...] | None = None,
+        batch_size: int | None = None,
+    ) -> MLDrivenResult:
+        """ML-driven injection over the pruned representatives."""
+        return ml_driven_campaign(
+            self.app,
+            self.profile(),
+            self.prune().representative_points,
+            labeler=labeler,
+            label_names=label_names,
+            threshold=threshold,
+            tests_per_point=self.tests_per_point,
+            batch_size=batch_size,
+            param_policy=self.param_policy,
+            seed=self.seed,
+        )
+
+    # -- one-shot studies ----------------------------------------------------
+
+    def run(self, threshold: float | None = 0.65, **learn_kwargs) -> FastFITReport:
+        """Full study: profile → prune → (ML-driven or plain) campaign.
+
+        ``threshold=None`` disables the ML stage (the paper's NPB rows).
+        """
+        pruning = self.prune()
+        report = FastFITReport(self.app.name, pruning)
+        if threshold is None:
+            report.campaign = self.campaign()
+        else:
+            report.ml = self.learn(threshold=threshold, **learn_kwargs)
+        return report

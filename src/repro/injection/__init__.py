@@ -1,0 +1,49 @@
+"""``repro.injection`` — the fault-injection engine.
+
+Single-bit flips in the input parameters of collective operations,
+classified into the six application responses of the paper's Table I.
+"""
+
+from .bitflip import flip_array_element, flip_int32, flip_int64, random_buffer_bit
+from .campaign import Campaign, CampaignResult, PointResult
+from .config import ConfigError, InjectionConfig
+from .injector import FaultInjector, InjectionRecord, buffer_extent_bytes
+from .outcome import OUTCOME_ORDER, Outcome, classify_exception
+from .runner import InjectionRunner, TestResult
+from .space import FaultSpec, InjectionPoint, enumerate_points, points_per_site
+from .targets import (
+    all_targets,
+    buffer_targets,
+    param_kind,
+    pick_target,
+    targets_for_policy,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "ConfigError",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectionConfig",
+    "InjectionPoint",
+    "InjectionRecord",
+    "InjectionRunner",
+    "OUTCOME_ORDER",
+    "Outcome",
+    "PointResult",
+    "TestResult",
+    "all_targets",
+    "buffer_extent_bytes",
+    "buffer_targets",
+    "classify_exception",
+    "enumerate_points",
+    "flip_array_element",
+    "flip_int32",
+    "flip_int64",
+    "param_kind",
+    "pick_target",
+    "points_per_site",
+    "random_buffer_bit",
+    "targets_for_policy",
+]

@@ -1,0 +1,52 @@
+"""Single-bit-flip primitives.
+
+The paper's fault model is one bit flip in one input parameter of one
+collective invocation (§ II).  Parameters come in three machine
+representations, each with its own flip:
+
+* 32-bit signed integers (``count``, ``root``) — C ``int`` semantics,
+  so flipping bit 31 makes the value negative;
+* 64-bit pointer-like handles (``datatype``, ``op``, ``comm``);
+* raw buffer bytes (``sendbuf``/``recvbuf`` contents) and the 32-bit
+  elements of count/displacement vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+INT_BITS = 32
+HANDLE_BITS = 64
+
+
+def flip_int32(value: int, bit: int) -> int:
+    """Flip one bit of a 32-bit signed integer (C ``int`` semantics)."""
+    if not 0 <= bit < INT_BITS:
+        raise ValueError(f"bit {bit} out of range for int32")
+    u = np.uint32(np.int64(value) & 0xFFFFFFFF)
+    u ^= np.uint32(1) << np.uint32(bit)
+    return int(np.int32(u))
+
+
+def flip_int64(value: int, bit: int) -> int:
+    """Flip one bit of a 64-bit value (handles are 64-bit pointers)."""
+    if not 0 <= bit < HANDLE_BITS:
+        raise ValueError(f"bit {bit} out of range for int64")
+    return int(np.int64(np.uint64(value & 0xFFFFFFFFFFFFFFFF) ^ (np.uint64(1) << np.uint64(bit))))
+
+
+def flip_array_element(arr: np.ndarray, index: int, bit: int) -> None:
+    """Flip one bit of a 32-bit slice of one array element, in place.
+
+    Vector parameters (alltoallv counts/displacements) are C ``int``
+    arrays; we flip within the low 32 bits regardless of storage width.
+    """
+    arr[index] = flip_int32(int(arr[index]), bit)
+
+
+def random_buffer_bit(rng: np.random.Generator, nbytes: int) -> tuple[int, int]:
+    """Uniformly pick ``(byte, bit)`` within an ``nbytes`` buffer."""
+    if nbytes <= 0:
+        raise ValueError("cannot pick a bit in an empty buffer")
+    flat = int(rng.integers(0, nbytes * 8))
+    return flat // 8, flat % 8

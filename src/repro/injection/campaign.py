@@ -1,0 +1,151 @@
+"""Fault-injection campaigns: many tests per point, aggregated.
+
+Implements the paper's § II methodology: at every selected injection
+point, run ``tests_per_point`` randomised single-bit-flip tests (100 in
+the paper) and tally the six response types.  Everything is driven by a
+single campaign seed, so a campaign is a pure function of
+``(app, points, config)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..apps.base import Application
+from ..profiling.profiler import ApplicationProfile
+from .outcome import OUTCOME_ORDER, Outcome
+from .runner import InjectionRunner, TestResult
+from .space import FaultSpec, InjectionPoint
+from .targets import pick_target
+
+
+@dataclass
+class PointResult:
+    """Aggregated responses at one injection point."""
+
+    point: InjectionPoint
+    tests: list[TestResult] = field(default_factory=list)
+
+    @property
+    def outcomes(self) -> Counter:
+        return Counter(t.outcome for t in self.tests)
+
+    @property
+    def n_tests(self) -> int:
+        return len(self.tests)
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of tests with a non-SUCCESS response (§ II)."""
+        if not self.tests:
+            return 0.0
+        return sum(1 for t in self.tests if t.outcome.is_error) / len(self.tests)
+
+    def majority_outcome(self) -> Outcome:
+        """The most frequent response (ties break in Table I order)."""
+        counts = self.outcomes
+        best = max(counts.values())
+        for outcome in OUTCOME_ORDER:
+            if counts.get(outcome) == best:
+                return outcome
+        return Outcome.SUCCESS  # pragma: no cover - tests is never empty here
+
+
+@dataclass
+class CampaignResult:
+    """All point results of one campaign."""
+
+    app_name: str
+    tests_per_point: int
+    param_policy: str
+    points: dict[InjectionPoint, PointResult] = field(default_factory=dict)
+
+    # -- aggregate views ------------------------------------------------
+
+    def all_tests(self) -> list[TestResult]:
+        return [t for pr in self.points.values() for t in pr.tests]
+
+    def outcome_histogram(self) -> dict[Outcome, int]:
+        counts = Counter(t.outcome for t in self.all_tests())
+        return {o: counts.get(o, 0) for o in OUTCOME_ORDER}
+
+    def outcome_fractions(self) -> dict[Outcome, float]:
+        hist = self.outcome_histogram()
+        total = sum(hist.values()) or 1
+        return {o: c / total for o, c in hist.items()}
+
+    def by_collective(self) -> dict[str, "CampaignResult"]:
+        """Split the campaign per collective type."""
+        out: dict[str, CampaignResult] = {}
+        for point, pr in self.points.items():
+            sub = out.setdefault(
+                point.collective,
+                CampaignResult(self.app_name, self.tests_per_point, self.param_policy),
+            )
+            sub.points[point] = pr
+        return out
+
+    def by_param(self) -> dict[str, dict[Outcome, int]]:
+        """Outcome histogram per injected parameter (Fig. 9 view)."""
+        out: dict[str, Counter] = {}
+        for t in self.all_tests():
+            out.setdefault(t.spec.param, Counter())[t.outcome] += 1
+        return {
+            param: {o: c.get(o, 0) for o in OUTCOME_ORDER}
+            for param, c in sorted(out.items())
+        }
+
+    def error_rates(self) -> list[float]:
+        return [pr.error_rate for pr in self.points.values()]
+
+
+class Campaign:
+    """Drives injection tests over a set of points."""
+
+    def __init__(
+        self,
+        app: Application,
+        profile: ApplicationProfile,
+        tests_per_point: int = 100,
+        param_policy: str = "buffer",
+        seed: int = 0,
+        progress: Callable[[int, int], None] | None = None,
+        algorithms: dict[str, str] | None = None,
+    ):
+        self.app = app
+        self.profile = profile
+        self.tests_per_point = tests_per_point
+        self.param_policy = param_policy
+        self.seed = seed
+        self.progress = progress
+        self.runner = InjectionRunner(app, profile, algorithms=algorithms)
+
+    def _rng_for(self, point_index: int, test_index: int) -> np.random.Generator:
+        seq = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(point_index, test_index)
+        )
+        return np.random.default_rng(seq)
+
+    def run_point(self, point: InjectionPoint, point_index: int = 0) -> PointResult:
+        """All tests for one injection point."""
+        pr = PointResult(point)
+        for t in range(self.tests_per_point):
+            rng = self._rng_for(point_index, t)
+            param = pick_target(rng, point.collective, self.param_policy)
+            spec = FaultSpec(point, param, None)
+            pr.tests.append(self.runner.run_one(spec, rng))
+        return pr
+
+    def run(self, points: Sequence[InjectionPoint] | Iterable[InjectionPoint]) -> CampaignResult:
+        """Run the campaign over ``points`` (kept in the given order)."""
+        points = list(points)
+        result = CampaignResult(self.app.name, self.tests_per_point, self.param_policy)
+        for i, point in enumerate(points):
+            result.points[point] = self.run_point(point, point_index=i)
+            if self.progress is not None:
+                self.progress(i + 1, len(points))
+        return result

@@ -1,0 +1,178 @@
+"""The fault-injection instrument.
+
+A :class:`FaultInjector` is armed with one :class:`FaultSpec`; when the
+matching collective invocation occurs on the matching rank, it flips one
+bit — in the parameter value (count/root/handles/vectors) or in the data
+buffer contents — *before* the call is validated and executed, matching
+the paper's "faults are injected before the collective call is
+enforced".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simmpi import CollectiveCall, Instrument
+from ..simmpi.validation import resolve_comm, resolve_datatype
+from .bitflip import flip_array_element, flip_int32, flip_int64
+from .space import FaultSpec
+from .targets import param_kind
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """What a fault injector actually did during a run."""
+
+    param: str
+    kind: str
+    bit: int
+    extent_bytes: int = 0  # buffer faults only
+    skipped: bool = False  # e.g. zero-length buffer
+
+
+def buffer_extent_bytes(ctx, call: CollectiveCall, param: str) -> int:
+    """Byte extent of a buffer parameter as the *clean* call defines it.
+
+    Root-side send buffers of Scatter and receive buffers of
+    Gather/Allgather/Alltoall span ``count × comm_size`` elements;
+    alltoallv extents follow counts + displacements.
+    """
+    args = call.args
+    name = call.name
+    if name != "Alltoallw":
+        dtype = resolve_datatype(ctx.runtime, args["datatype"], rank=ctx.rank)
+        es = dtype.size
+    else:
+        es = 1  # alltoallw extents are computed per peer below
+
+    def comm_size() -> int:
+        return resolve_comm(ctx.runtime, args["comm"], rank=ctx.rank).size
+
+    def vspan(counts_key: str, displs_key: str) -> int:
+        counts = np.asarray(args[counts_key], dtype=np.int64)
+        displs = np.asarray(args[displs_key], dtype=np.int64)
+        if counts.size == 0:
+            return 0
+        return int((displs + counts).max()) * es
+
+    if name in ("Bcast", "Reduce", "Allreduce", "Scan", "Exscan"):
+        return int(args["count"]) * es
+    if name == "Alltoallv":
+        if param == "sendbuf":
+            return vspan("sendcounts", "sdispls")
+        return vspan("recvcounts", "rdispls")
+    if name == "Alltoallw":
+        # Byte displacements and per-peer datatypes.
+        side = "send" if param == "sendbuf" else "recv"
+        counts = np.asarray(args[f"{side}counts"], dtype=np.int64)
+        displs = np.asarray(args["sdispls" if side == "send" else "rdispls"], dtype=np.int64)
+        sizes = np.array(
+            [
+                resolve_datatype(ctx.runtime, h, rank=ctx.rank).size
+                for h in args[f"{side}types"]
+            ],
+            dtype=np.int64,
+        )
+        if counts.size == 0:
+            return 0
+        return int((displs + counts * sizes).max())
+    if name == "Reduce_scatter":
+        per = int(args["recvcount"]) * es
+        return per * comm_size() if param == "sendbuf" else per
+    if name == "Gatherv":
+        if param == "sendbuf":
+            return int(args["sendcount"]) * es
+        return vspan("recvcounts", "displs")
+    if name == "Scatterv":
+        if param == "sendbuf":
+            return vspan("sendcounts", "displs")
+        return int(args["recvcount"]) * es
+    if name == "Allgatherv":
+        if param == "sendbuf":
+            return int(args["sendcount"]) * es
+        return vspan("recvcounts", "displs")
+    per_rank = int(args["sendcount" if param == "sendbuf" else "recvcount"])
+    if name == "Scatter":
+        return per_rank * (comm_size() if param == "sendbuf" else 1) * es
+    if name == "Gather":
+        return per_rank * (1 if param == "sendbuf" else comm_size()) * es
+    if name in ("Allgather", "Alltoall"):
+        return per_rank * (1 if param == "sendbuf" else comm_size()) * es
+    raise ValueError(f"{name} has no buffer parameter {param!r}")  # pragma: no cover
+
+
+class FaultInjector(Instrument):
+    """Flips one bit at one injection point, once per run."""
+
+    def __init__(self, spec: FaultSpec, rng: np.random.Generator):
+        self.spec = spec
+        self.rng = rng
+        self.record: InjectionRecord | None = None
+
+    @property
+    def fired(self) -> bool:
+        return self.record is not None
+
+    def on_collective(self, ctx, call: CollectiveCall) -> None:
+        if self.record is not None:
+            return
+        p = self.spec.point
+        if (
+            call.rank != p.rank
+            or call.name != p.collective
+            or call.site != p.site
+            or call.invocation != p.invocation
+        ):
+            return
+        self._inject(ctx, call)
+
+    # -- the actual flip ------------------------------------------------
+
+    def _inject(self, ctx, call: CollectiveCall) -> None:
+        param = self.spec.param
+        kind = param_kind(param)
+        bit = self.spec.bit
+
+        if kind == "scalar":
+            if bit is None or bit < 0:
+                bit = int(self.rng.integers(0, 32))
+            call.args[param] = flip_int32(int(call.args[param]), bit)
+            self.record = InjectionRecord(param, kind, bit)
+        elif kind == "handle":
+            if bit is None or bit < 0:
+                bit = int(self.rng.integers(0, 64))
+            call.args[param] = flip_int64(int(call.args[param]), bit)
+            self.record = InjectionRecord(param, kind, bit)
+        elif kind == "vector":
+            arr = np.array(call.args[param], dtype=np.int64, copy=True)
+            if arr.size == 0:
+                self.record = InjectionRecord(param, kind, -1, skipped=True)
+                return
+            if bit is None or bit < 0:
+                bit = int(self.rng.integers(0, arr.size * 32))
+            flip_array_element(arr, bit // 32, bit % 32)
+            call.args[param] = arr
+            self.record = InjectionRecord(param, kind, bit)
+        elif kind == "handle_vector":
+            arr = np.array([int(h) for h in call.args[param]], dtype=np.int64)
+            if arr.size == 0:
+                self.record = InjectionRecord(param, kind, -1, skipped=True)
+                return
+            if bit is None or bit < 0:
+                bit = int(self.rng.integers(0, arr.size * 64))
+            arr[bit // 64] = flip_int64(int(arr[bit // 64]), bit % 64)
+            call.args[param] = arr
+            self.record = InjectionRecord(param, kind, bit)
+        elif kind == "buffer":
+            extent = buffer_extent_bytes(ctx, call, param)
+            if extent <= 0:
+                self.record = InjectionRecord(param, kind, -1, extent, skipped=True)
+                return
+            if bit is None or bit < 0:
+                bit = int(self.rng.integers(0, extent * 8))
+            ctx.memory.flip_bit(int(call.args[param]), bit)
+            self.record = InjectionRecord(param, kind, bit, extent)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown parameter kind {kind!r}")

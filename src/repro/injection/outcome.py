@@ -1,0 +1,71 @@
+"""The six application responses to a faulty collective (Table I).
+
+Classification precedence follows what a real job launcher observes:
+
+1. the application's own error handler fired → ``APP_DETECTED``;
+2. the MPI library reported an error → ``MPI_ERR``;
+3. the process took a memory fault (including any unhandled language
+   error, which on the C codes the paper studies manifests as a
+   signal) → ``SEG_FAULT``;
+4. the job never terminated (deadlock or runaway loop, killed by the
+   harness budget, the paper's timeout) → ``INF_LOOP``;
+5. the job exited cleanly: results match the golden run → ``SUCCESS``,
+   otherwise → ``WRONG_ANS``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..simmpi import (
+    AppError,
+    DeadlockError,
+    FiberCrashed,
+    MPIError,
+    SegmentationFault,
+    StepBudgetExceeded,
+)
+
+
+class Outcome(str, Enum):
+    """Application response types, exactly as in the paper's Table I."""
+
+    SUCCESS = "SUCCESS"
+    APP_DETECTED = "APP_DETECTED"
+    MPI_ERR = "MPI_ERR"
+    SEG_FAULT = "SEG_FAULT"
+    WRONG_ANS = "WRONG_ANS"
+    INF_LOOP = "INF_LOOP"
+
+    @property
+    def is_error(self) -> bool:
+        """Everything but SUCCESS counts toward the paper's error rate."""
+        return self is not Outcome.SUCCESS
+
+
+#: Fixed rendering/iteration order matching the paper's figures.
+OUTCOME_ORDER: tuple[Outcome, ...] = (
+    Outcome.SUCCESS,
+    Outcome.APP_DETECTED,
+    Outcome.MPI_ERR,
+    Outcome.SEG_FAULT,
+    Outcome.WRONG_ANS,
+    Outcome.INF_LOOP,
+)
+
+
+def classify_exception(exc: BaseException) -> Outcome:
+    """Map a run-aborting exception to its Table I response type."""
+    if isinstance(exc, AppError):
+        return Outcome.APP_DETECTED
+    if isinstance(exc, MPIError):
+        return Outcome.MPI_ERR
+    if isinstance(exc, SegmentationFault):
+        return Outcome.SEG_FAULT
+    if isinstance(exc, (DeadlockError, StepBudgetExceeded)):
+        return Outcome.INF_LOOP
+    if isinstance(exc, FiberCrashed):
+        # An arbitrary language-level crash in application code: on the
+        # paper's C workloads this is a signal, i.e. a segfault.
+        return Outcome.SEG_FAULT
+    raise TypeError(f"unclassifiable exception {type(exc).__name__}: {exc}")

@@ -1,0 +1,85 @@
+"""Single fault-injection test execution.
+
+One test = one fresh simulated job with one armed fault injector,
+classified against the golden run.  The hang budget is calibrated from
+the golden run's event count — the deterministic analogue of the paper's
+wall-clock timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps.base import Application
+from ..profiling.profiler import ApplicationProfile, profile_application
+from ..simmpi import SimMPIError, run_app
+from .injector import FaultInjector, InjectionRecord
+from .outcome import Outcome, classify_exception
+from .space import FaultSpec
+
+#: The injected run may legitimately run somewhat longer than golden
+#: (e.g. extra solver cycles); beyond this factor it is declared hung.
+DEFAULT_BUDGET_FACTOR = 8
+MIN_BUDGET = 50_000
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one fault-injection test."""
+
+    spec: FaultSpec
+    outcome: Outcome
+    record: InjectionRecord | None
+    detail: str = ""
+
+    @property
+    def injected(self) -> bool:
+        return self.record is not None and not self.record.skipped
+
+
+class InjectionRunner:
+    """Runs individual injection tests for one application instance."""
+
+    def __init__(
+        self,
+        app: Application,
+        profile: ApplicationProfile | None = None,
+        budget_factor: int = DEFAULT_BUDGET_FACTOR,
+        min_budget: int = MIN_BUDGET,
+        algorithms: dict[str, str] | None = None,
+    ):
+        self.app = app
+        self.algorithms = algorithms
+        self.profile = (
+            profile
+            if profile is not None
+            else profile_application(app, algorithms=algorithms)
+        )
+        self.step_budget = max(self.profile.golden_steps * budget_factor, min_budget)
+
+    @property
+    def golden_results(self):
+        return self.profile.golden_results
+
+    def run_one(self, spec: FaultSpec, rng: np.random.Generator) -> TestResult:
+        """Execute one test and classify the application response."""
+        injector = FaultInjector(spec, rng)
+        try:
+            # Corrupted data legitimately overflows in application
+            # arithmetic; silence numpy's warnings for the faulty run.
+            with np.errstate(all="ignore"):
+                result = run_app(
+                    self.app.main,
+                    self.app.nranks,
+                    instruments=[injector],
+                    step_budget=self.step_budget,
+                    algorithms=self.algorithms,
+                )
+        except SimMPIError as exc:
+            return TestResult(spec, classify_exception(exc), injector.record, detail=str(exc))
+
+        if self.app.compare(self.golden_results, result.results):
+            return TestResult(spec, Outcome.SUCCESS, injector.record)
+        return TestResult(spec, Outcome.WRONG_ANS, injector.record, detail="signature mismatch")

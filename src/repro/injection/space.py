@@ -1,0 +1,63 @@
+"""Fault-injection point enumeration.
+
+Following § II of the paper, a fault injection *point* is one invocation
+of one collective call site on one rank; a fault injection *test* is a
+point plus a concrete fault (parameter, bit).  The unpruned space is the
+cross product over ranks × sites × invocations — 618,496 points for the
+paper's small LAMMPS deployment, which is exactly why pruning matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..profiling.profiler import ApplicationProfile
+
+
+@dataclass(frozen=True, order=True)
+class InjectionPoint:
+    """One (rank, call site, invocation) triple."""
+
+    rank: int
+    collective: str
+    site: str
+    invocation: int
+
+    @property
+    def site_key(self) -> tuple[str, str]:
+        return (self.collective, self.site)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.collective}@{self.site}#inv{self.invocation}@rank{self.rank}"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One concrete fault: where (point) and what (parameter, bit).
+
+    ``bit`` addresses the parameter's machine representation: for buffer
+    parameters it is a flat bit offset into the buffer contents; for
+    scalars/handles a bit index of the value; for vector parameters the
+    pair ``(element, bit)`` is packed as ``element * 32 + bit``.
+    """
+
+    point: InjectionPoint
+    param: str
+    bit: int
+
+
+def enumerate_points(profile: ApplicationProfile) -> list[InjectionPoint]:
+    """The full, unpruned injection-point space of a profiled run."""
+    points: list[InjectionPoint] = []
+    for (rank, (name, site)), summary in sorted(profile.summaries.items()):
+        for invocation in range(summary.n_invocations):
+            points.append(InjectionPoint(rank, name, site, invocation))
+    return points
+
+
+def points_per_site(points: list[InjectionPoint]) -> dict[tuple[str, str], list[InjectionPoint]]:
+    """Group points by static call site."""
+    by_site: dict[tuple[str, str], list[InjectionPoint]] = {}
+    for pt in points:
+        by_site.setdefault(pt.site_key, []).append(pt)
+    return by_site

@@ -1,0 +1,55 @@
+"""``repro.ml`` — the machine-learning substrate (no sklearn offline,
+so CART trees and random forests are built from scratch on numpy)."""
+
+from .correlation import TABLE4_FEATURES, correlation_table, eq1_correlation, table4_features
+from .dataset import (
+    Dataset,
+    build_level_dataset,
+    build_outcome_dataset,
+    level_labels,
+    merge_datasets,
+    outcome_labels,
+)
+from .decision_tree import DecisionTreeClassifier, TreeNode, gini
+from .features import (
+    ERRHAL_PREFIX,
+    FEATURE_NAMES,
+    encode_type,
+    features_matrix,
+    invocation_stack,
+    point_features,
+    stack_is_errhal,
+)
+from .metrics import accuracy, confusion_matrix, per_class_accuracy
+from .model_selection import EvaluationResult, evaluate_model, train_test_split
+from .random_forest import RandomForestClassifier
+
+__all__ = [
+    "Dataset",
+    "DecisionTreeClassifier",
+    "ERRHAL_PREFIX",
+    "EvaluationResult",
+    "FEATURE_NAMES",
+    "RandomForestClassifier",
+    "TABLE4_FEATURES",
+    "TreeNode",
+    "accuracy",
+    "build_level_dataset",
+    "build_outcome_dataset",
+    "confusion_matrix",
+    "correlation_table",
+    "encode_type",
+    "eq1_correlation",
+    "evaluate_model",
+    "features_matrix",
+    "gini",
+    "invocation_stack",
+    "level_labels",
+    "merge_datasets",
+    "outcome_labels",
+    "per_class_accuracy",
+    "point_features",
+    "stack_is_errhal",
+    "table4_features",
+    "train_test_split",
+]

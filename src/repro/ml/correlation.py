@@ -1,0 +1,94 @@
+"""Feature ↔ sensitivity correlation (paper Eq. 1 and Table IV).
+
+The paper maps Pearson's correlation into [0, 1]::
+
+    Correlation(X, Y) = (r(X, Y) + 1) / 2
+
+so 1 means the feature varies with sensitivity, 0 means it varies
+oppositely, and 0.5 means no effect.  (The denominator of Eq. 1 as
+typeset is read as the usual product-of-variances normalisation.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..injection.campaign import CampaignResult
+from ..ml.features import invocation_stack, stack_is_errhal
+from ..profiling.profiler import ApplicationProfile
+
+#: Column order of the paper's Table IV.
+TABLE4_FEATURES: tuple[str, ...] = (
+    "Init Phase",
+    "Input Phase",
+    "Compute Phase",
+    "End Phase",
+    "ErrHdl",
+    "Non-ErrHdl",
+    "nInv",
+    "nDiffGraph",
+    "StackDepth",
+)
+
+
+def eq1_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """The paper's Eq. 1: Pearson's r mapped into [0, 1].
+
+    Degenerate (constant) series have no direction, so they return the
+    neutral value 0.5.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) != len(y) or len(x) < 2:
+        return 0.5
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt((xc * xc).sum() * (yc * yc).sum())
+    if denom == 0.0:
+        return 0.5
+    r = float((xc * yc).sum() / denom)
+    return 0.5 * (r + 1.0)
+
+
+def table4_features(
+    profile: ApplicationProfile, campaign: CampaignResult
+) -> tuple[np.ndarray, np.ndarray, list[str]]:
+    """Feature matrix and error-rate vector for the Table IV study.
+
+    One row per tested injection point, with the phase and error-handling
+    indicators one-hot encoded (that is how the paper can report a
+    per-phase correlation).
+    """
+    rows: list[list[float]] = []
+    rates: list[float] = []
+    for point, pr in sorted(campaign.points.items()):
+        summary = profile.summary(point.rank, point.site_key)
+        phase = summary.phases.get(point.invocation, "compute")
+        errhal = stack_is_errhal(invocation_stack(summary, point.invocation))
+        rows.append(
+            [
+                float(phase == "init"),
+                float(phase == "input"),
+                float(phase == "compute"),
+                float(phase == "end"),
+                float(errhal),
+                float(not errhal),
+                float(summary.n_invocations),
+                float(summary.n_diff_stacks),
+                float(summary.avg_stack_depth),
+            ]
+        )
+        rates.append(pr.error_rate)
+    X = np.array(rows) if rows else np.zeros((0, len(TABLE4_FEATURES)))
+    return X, np.array(rates), list(TABLE4_FEATURES)
+
+
+def correlation_table(
+    profile: ApplicationProfile, campaign: CampaignResult
+) -> dict[str, float]:
+    """Eq. 1 correlation of every Table IV feature with the error rate."""
+    X, rates, names = table4_features(profile, campaign)
+    return {
+        name: eq1_correlation(X[:, j], rates) if len(rates) else 0.5
+        for j, name in enumerate(names)
+    }

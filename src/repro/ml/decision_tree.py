@@ -1,0 +1,210 @@
+"""CART decision-tree classifier (from scratch, numpy only).
+
+scikit-learn is not available in this environment, so the paper's
+random-forest learner is rebuilt from first principles: binary splits on
+numeric features chosen by Gini-impurity gain.  Trees expose their
+structure for rendering (the paper's Fig. 4 shows one as a worked
+example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted tree.
+
+    Leaves have ``feature == -1`` and carry class counts; internal nodes
+    route ``x[feature] <= threshold`` left, else right.
+    """
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    counts: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    impurity: float = 0.0
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+    @property
+    def prediction(self) -> int:
+        return int(np.argmax(self.counts))
+
+
+def gini(counts: np.ndarray) -> float:
+    """Gini impurity of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTreeClassifier:
+    """A minimal CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth limit (root is depth 0).
+    min_samples_split / min_samples_leaf:
+        Pre-pruning limits.
+    max_features:
+        Features examined per split (``None`` = all) — supply together
+        with ``rng`` to build randomised forest members.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+        self.root: TreeNode | None = None
+        self.n_classes = 0
+        self.n_features = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    # -- fitting --------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be (n, d) and aligned with y")
+        if len(y) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_classes = int(y.max()) + 1 if len(y) else 0
+        self.n_features = X.shape[1]
+        self._importance = np.zeros(self.n_features)
+        self.root = self._build(X, y, depth=0)
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else np.zeros(self.n_features)
+        )
+        return self
+
+    def _class_counts(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=self.n_classes).astype(np.float64)
+
+    def _candidate_features(self) -> np.ndarray:
+        if self.max_features is None or self.max_features >= self.n_features:
+            return np.arange(self.n_features)
+        rng = self.rng if self.rng is not None else np.random.default_rng(0)
+        return rng.choice(self.n_features, size=self.max_features, replace=False)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float, float] | None:
+        """Best (feature, threshold, gain); ``None`` when nothing splits."""
+        n = len(y)
+        parent_counts = self._class_counts(y)
+        parent_gini = gini(parent_counts)
+        best: tuple[int, float, float] | None = None
+        # Zero-gain splits are allowed on impure nodes (depth-capped):
+        # XOR-like interactions have no first-split gain, yet the
+        # children become separable.
+        best_gain = -1e-12
+
+        for f in self._candidate_features():
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            ys = y[order]
+            # Class counts left of each split position, via prefix sums.
+            onehot = np.zeros((n, self.n_classes))
+            onehot[np.arange(n), ys] = 1.0
+            prefix = np.cumsum(onehot, axis=0)
+            # Valid split positions: value changes between i-1 and i.
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i] == xs[i - 1]:
+                    continue
+                if i == n:
+                    continue
+                left_counts = prefix[i - 1]
+                right_counts = parent_counts - left_counts
+                gain = parent_gini - (
+                    i / n * gini(left_counts) + (n - i) / n * gini(right_counts)
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = 0.5 * (xs[i - 1] + xs[i])
+                    best = (int(f), float(threshold), float(gain))
+        return best
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        counts = self._class_counts(y)
+        node = TreeNode(counts=counts, impurity=gini(counts), n_samples=len(y))
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or node.impurity == 0.0
+        ):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        f, thr, gain = split
+        mask = X[:, f] <= thr
+        self._importance[f] += max(gain, 0.0) * len(y)
+        node.feature = f
+        node.threshold = thr
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    # -- inference --------------------------------------------------------
+
+    def _leaf_for(self, x: np.ndarray) -> TreeNode:
+        node = self.root
+        if node is None:
+            raise RuntimeError("tree is not fitted")
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        return np.array([self._leaf_for(x).prediction for x in X], dtype=np.int64)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        out = np.zeros((len(X), self.n_classes))
+        for i, x in enumerate(X):
+            counts = self._leaf_for(x).counts
+            total = counts.sum()
+            out[i] = counts / total if total else counts
+        return out
+
+    # -- introspection ------------------------------------------------------
+
+    def render(self, feature_names: list[str], class_names: list[str]) -> str:
+        """ASCII rendering of the tree (the paper's Fig. 4 style)."""
+        lines: list[str] = []
+
+        def walk(node: TreeNode, indent: str) -> None:
+            if node.is_leaf:
+                lines.append(f"{indent}-> {class_names[node.prediction]} (n={node.n_samples})")
+                return
+            lines.append(
+                f"{indent}[{feature_names[node.feature]} <= {node.threshold:.3g}]"
+            )
+            walk(node.left, indent + "  ")
+            lines.append(f"{indent}[{feature_names[node.feature]} > {node.threshold:.3g}]")
+            walk(node.right, indent + "  ")
+
+        if self.root is not None:
+            walk(self.root, "")
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""The six application features of the prediction model (paper § III-C).
+
+========== =====================================================
+Feature     Meaning
+========== =====================================================
+Type        Collective type + root/non-root role of the rank
+Phase       Execution phase at the invocation
+ErrHal      Whether the call sits in error-handling code
+nInv        Invocation count of the call site
+StackDep    Average call-stack depth of the site
+nDiffStack  Number of distinct call stacks at the site
+========== =====================================================
+
+Error-handling code is identified by the ``check_`` function-name
+convention (our stand-in for the paper's manual classification of, e.g.,
+LAMMPS' error-checking allreduces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..injection.space import InjectionPoint
+from ..profiling.phases import encode_phase
+from ..profiling.profiler import ApplicationProfile, SiteSummary
+from ..simmpi import COLLECTIVE_TYPE_IDS
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "Type",
+    "Phase",
+    "ErrHal",
+    "nInv",
+    "StackDep",
+    "nDiffStack",
+)
+
+#: Function-name prefix marking error-handling code.
+ERRHAL_PREFIX = "check_"
+
+
+def stack_is_errhal(stack: tuple[str, ...]) -> bool:
+    """True when any active function is error-handling code."""
+    return any(frame.split("@")[0].startswith(ERRHAL_PREFIX) for frame in stack)
+
+
+def invocation_stack(summary: SiteSummary, invocation: int) -> tuple[str, ...]:
+    """The call stack of one invocation of a site."""
+    for stack, invs in summary.stack_groups.items():
+        if invocation in invs:
+            return stack
+    raise KeyError(f"invocation {invocation} not profiled at {summary.site_key}")
+
+
+def encode_type(profile: ApplicationProfile, point: InjectionPoint) -> int:
+    """Collective type id, doubled, plus 1 when the rank is the root —
+    the paper's "root versus non-root" refinement of the Type feature."""
+    summary = profile.summary(point.rank, point.site_key)
+    is_root = int(summary.root_world == point.rank)
+    return COLLECTIVE_TYPE_IDS[point.collective] * 2 + is_root
+
+
+def point_features(profile: ApplicationProfile, point: InjectionPoint) -> np.ndarray:
+    """Feature vector of one injection point, in FEATURE_NAMES order."""
+    summary = profile.summary(point.rank, point.site_key)
+    stack = invocation_stack(summary, point.invocation)
+    phase = summary.phases.get(point.invocation, "compute")
+    return np.array(
+        [
+            encode_type(profile, point),
+            encode_phase(phase),
+            int(stack_is_errhal(stack)),
+            summary.n_invocations,
+            summary.avg_stack_depth,
+            summary.n_diff_stacks,
+        ],
+        dtype=np.float64,
+    )
+
+
+def features_matrix(
+    profile: ApplicationProfile, points: list[InjectionPoint]
+) -> np.ndarray:
+    """Stacked feature vectors for many points."""
+    if not points:
+        return np.zeros((0, len(FEATURE_NAMES)))
+    return np.vstack([point_features(profile, p) for p in points])

@@ -1,0 +1,38 @@
+"""Classification metrics for the sensitivity-prediction evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """``cm[i, j]`` counts true class ``i`` predicted as ``j``."""
+    cm = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for t, p in zip(np.asarray(y_true), np.asarray(y_pred)):
+        if 0 <= t < n_classes and 0 <= p < n_classes:
+            cm[int(t), int(p)] += 1
+    return cm
+
+
+def per_class_accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Recall per class — the quantity the paper's Figs. 12/13 report
+    (prediction accuracy *for* each error type / rate level).
+
+    Classes absent from ``y_true`` report NaN.
+    """
+    cm = confusion_matrix(y_true, y_pred, n_classes)
+    totals = cm.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(totals > 0, np.diag(cm) / totals, np.nan)
+    return out

@@ -1,0 +1,79 @@
+"""Train/test protocols for the prediction-accuracy evaluation.
+
+The paper's § V-D protocol: randomly divide the labelled set into a
+training and a testing class, repeat the random division five times, and
+average the per-class accuracies.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import accuracy, per_class_accuracy
+
+
+def train_test_split(
+    rng: np.random.Generator, n: int, test_fraction: float = 0.5
+) -> tuple[np.ndarray, np.ndarray]:
+    """Index split; the test side gets ``round(n * test_fraction)``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction))) if n > 1 else 0
+    return np.sort(perm[n_test:]), np.sort(perm[:n_test])
+
+
+@dataclass
+class EvaluationResult:
+    """Averaged repeated-random-split evaluation."""
+
+    overall_accuracy: float
+    per_class: np.ndarray  # mean recall per class (NaN = class unseen)
+    label_names: tuple[str, ...]
+    repeats: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            name: float(v)
+            for name, v in zip(self.label_names, self.per_class)
+            if not np.isnan(v)
+        }
+
+
+def evaluate_model(
+    model_factory,
+    X: np.ndarray,
+    y: np.ndarray,
+    label_names: tuple[str, ...],
+    repeats: int = 5,
+    test_fraction: float = 0.5,
+    seed: int = 0,
+) -> EvaluationResult:
+    """Repeated random-split evaluation (the paper repeats five times).
+
+    ``model_factory(split_index)`` must return a fresh unfitted model.
+    """
+    n_classes = len(label_names)
+    accs: list[float] = []
+    per_class_runs: list[np.ndarray] = []
+    rng = np.random.default_rng(seed)
+    for rep in range(repeats):
+        train_idx, test_idx = train_test_split(rng, len(y), test_fraction)
+        if len(train_idx) == 0 or len(test_idx) == 0:
+            continue
+        model = model_factory(rep)
+        model.fit(X[train_idx], y[train_idx])
+        pred = model.predict(X[test_idx])
+        accs.append(accuracy(y[test_idx], pred))
+        per_class_runs.append(per_class_accuracy(y[test_idx], pred, n_classes))
+    if not accs:
+        return EvaluationResult(0.0, np.full(n_classes, np.nan), label_names, 0)
+    stacked = np.vstack(per_class_runs)
+    with np.errstate(invalid="ignore"), warnings.catch_warnings():
+        # Classes absent from every split average to NaN, by design.
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        per_class = np.nanmean(stacked, axis=0)
+    return EvaluationResult(float(np.mean(accs)), per_class, label_names, len(accs))

@@ -1,0 +1,95 @@
+"""Random-forest classifier: bagged CART trees with majority vote.
+
+The learner FastFIT uses to predict application sensitivity
+(paper § III-C).  "FastFIT is not tied to the random forest algorithm"
+— and neither is this module's caller: anything with ``fit``/``predict``
+works in its place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_features:
+        Features per split; ``None`` means ``ceil(sqrt(d))``.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 32,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees: list[DecisionTreeClassifier] = []
+        self.n_classes = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n, d = X.shape
+        self.n_classes = int(y.max()) + 1 if len(y) else 0
+        max_features = (
+            self.max_features
+            if self.max_features is not None
+            else max(1, int(np.ceil(np.sqrt(d))))
+        )
+        root_rng = np.random.default_rng(self.seed)
+        self.trees = []
+        for _ in range(self.n_estimators):
+            rng = np.random.default_rng(root_rng.integers(0, 2**63))
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.fit(X[idx], y[idx])
+            tree.n_classes = max(tree.n_classes, self.n_classes)
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean of the member trees' leaf distributions."""
+        if not self.trees:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        acc = np.zeros((len(X), self.n_classes))
+        for tree in self.trees:
+            proba = tree.predict_proba(X)
+            acc[:, : proba.shape[1]] += proba
+        return acc / len(self.trees)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority decision over the trees (paper: "the decision of a
+        random forest is a majority decision")."""
+        if not self.trees:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        votes = np.zeros((len(X), self.n_classes), dtype=np.int64)
+        for tree in self.trees:
+            pred = tree.predict(X)
+            votes[np.arange(len(X)), pred] += 1
+        return np.argmax(votes, axis=1)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        imps = np.array([t.feature_importances_ for t in self.trees])
+        return imps.mean(axis=0)

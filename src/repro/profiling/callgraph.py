@@ -1,0 +1,72 @@
+"""Dynamic call-graph capture — the Callgrind/gprof equivalent.
+
+Call graphs are reconstructed from the call stacks observed at
+communication events: every adjacent frame pair contributes a
+caller → callee edge weighted by occurrence count.  Semantic-driven
+pruning compares the per-rank graphs to decide process equivalence
+(paper § III-A: "we collect application function call graphs … and then
+compare their similarity").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+
+def frame_function(frame: str) -> str:
+    """The function identity of a canonical stack frame.
+
+    Frames are ``func@file:lineno``; the call graph keys on
+    ``func@file`` so that different call *lines* of the same function
+    collapse into one node.
+    """
+    head, _, _ = frame.rpartition(":")
+    return head or frame
+
+
+def build_callgraph(stacks: Iterable[tuple[str, ...]]) -> nx.DiGraph:
+    """Build a weighted call graph from canonical stacks."""
+    g = nx.DiGraph()
+    for stack in stacks:
+        funcs = [frame_function(f) for f in stack]
+        for node in funcs:
+            if not g.has_node(node):
+                g.add_node(node, count=0)
+        if funcs:
+            g.nodes[funcs[-1]]["count"] += 1
+        for caller, callee in zip(funcs, funcs[1:]):
+            if g.has_edge(caller, callee):
+                g[caller][callee]["count"] += 1
+            else:
+                g.add_edge(caller, callee, count=1)
+    return g
+
+
+def callgraph_signature(g: nx.DiGraph) -> tuple:
+    """A hashable signature: sorted weighted edge and node sets."""
+    nodes = tuple(sorted((n, d.get("count", 0)) for n, d in g.nodes(data=True)))
+    edges = tuple(sorted((u, v, d.get("count", 0)) for u, v, d in g.edges(data=True)))
+    return (nodes, edges)
+
+
+def graphs_equivalent(a: nx.DiGraph, b: nx.DiGraph) -> bool:
+    """True when two ranks' call graphs match exactly (nodes, edges,
+    and counts) — the empirical equivalence test of § III-A."""
+    return callgraph_signature(a) == callgraph_signature(b)
+
+
+def graph_similarity(a: nx.DiGraph, b: nx.DiGraph) -> float:
+    """Jaccard similarity over weighted edges, in [0, 1].
+
+    Used for reporting how close two non-equivalent processes are.
+    """
+    ea = {(u, v): d.get("count", 0) for u, v, d in a.edges(data=True)}
+    eb = {(u, v): d.get("count", 0) for u, v, d in b.edges(data=True)}
+    if not ea and not eb:
+        return 1.0
+    keys = set(ea) | set(eb)
+    inter = sum(min(ea.get(k, 0), eb.get(k, 0)) for k in keys)
+    union = sum(max(ea.get(k, 0), eb.get(k, 0)) for k in keys)
+    return inter / union if union else 1.0

@@ -1,0 +1,23 @@
+"""Application-phase bookkeeping (the ``Phase`` ML feature).
+
+The paper orders phases input → initialisation → compute → finalisation
+and finds the input/init phases most strongly correlated with fault
+sensitivity (Table IV).
+"""
+
+from __future__ import annotations
+
+#: Canonical phase order used for numeric encoding.
+PHASE_ORDER: tuple[str, ...] = ("input", "init", "compute", "end")
+
+PHASE_IDS: dict[str, int] = {name: i for i, name in enumerate(PHASE_ORDER)}
+
+
+def encode_phase(phase: str) -> int:
+    """Numeric id of a phase; unknown phases map after the known ones."""
+    return PHASE_IDS.get(phase, len(PHASE_ORDER))
+
+
+def phase_indicator(phase: str) -> dict[str, int]:
+    """One-hot encoding, used by the Table IV correlation study."""
+    return {name: int(name == phase) for name in PHASE_ORDER}

@@ -1,0 +1,29 @@
+"""``repro.pruning`` — FastFIT's three exploration-space reducers.
+
+Semantic-driven (§ III-A), application-context-driven (§ III-B), and
+machine-learning-driven (§ III-C) fault injection.
+"""
+
+from .context import ContextSelection, select_context
+from .equivalence import equivalence_classes, rank_signature, representative_of
+from .mldriven import (
+    MLDrivenResult,
+    level_labeler,
+    ml_driven_campaign,
+    outcome_labeler,
+)
+from .semantic import SemanticSelection, select_semantic
+
+__all__ = [
+    "ContextSelection",
+    "MLDrivenResult",
+    "SemanticSelection",
+    "equivalence_classes",
+    "level_labeler",
+    "ml_driven_campaign",
+    "outcome_labeler",
+    "rank_signature",
+    "representative_of",
+    "select_context",
+    "select_semantic",
+]

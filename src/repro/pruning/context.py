@@ -1,0 +1,72 @@
+"""Application-context-driven fault injection (paper § III-B).
+
+A call site may be invoked thousands of times, but invocations that
+share the same call stack share the same application context, and the
+application responds to their corruption the same way (the paper
+demonstrates a tight Gaussian over same-stack invocations, Fig. 3).  So
+one representative invocation stands in for every invocation with the
+same stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..injection.space import InjectionPoint
+from ..profiling.profiler import ApplicationProfile
+
+
+@dataclass
+class ContextSelection:
+    """Result of context-driven pruning over a set of points."""
+
+    #: representative point -> all points it stands for (itself included).
+    representatives: dict[InjectionPoint, list[InjectionPoint]] = field(default_factory=dict)
+    total_points: int = 0
+
+    @property
+    def selected_points_list(self) -> list[InjectionPoint]:
+        return sorted(self.representatives)
+
+    @property
+    def selected_points(self) -> int:
+        return len(self.representatives)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of points eliminated (the "App" column of Table III)."""
+        if self.total_points == 0:
+            return 0.0
+        return 1.0 - self.selected_points / self.total_points
+
+    def expand(self, point: InjectionPoint) -> list[InjectionPoint]:
+        """All points a representative stands for."""
+        return self.representatives[point]
+
+
+def select_context(
+    profile: ApplicationProfile, points: Iterable[InjectionPoint]
+) -> ContextSelection:
+    """Collapse ``points`` to one representative per (rank, site, stack).
+
+    The representative is the earliest invocation of each stack class,
+    matching the paper's "choose one representative invocation to
+    represent all other invocations that share the same call stack".
+    """
+    sel = ContextSelection()
+    by_group: dict[tuple, list[InjectionPoint]] = {}
+    for pt in points:
+        sel.total_points += 1
+        summary = profile.summary(pt.rank, pt.site_key)
+        stack = None
+        for s, invs in summary.stack_groups.items():
+            if pt.invocation in invs:
+                stack = s
+                break
+        by_group.setdefault((pt.rank, pt.site_key, stack), []).append(pt)
+
+    for _, members in sorted(by_group.items(), key=lambda kv: str(kv[0])):
+        members.sort()
+        sel.representatives[members[0]] = members
+    return sel

@@ -1,0 +1,43 @@
+"""Process-equivalence analysis (paper § III-A, second half).
+
+Two MPI processes are treated as equivalent when they have the same
+computation pattern *and* the same communication pattern: identical call
+graphs and identical communication traces.  Among an equivalence class,
+one process represents the others in the fault-injection study.
+"""
+
+from __future__ import annotations
+
+from ..profiling.callgraph import callgraph_signature
+from ..profiling.profiler import ApplicationProfile
+
+
+def rank_signature(profile: ApplicationProfile, rank: int) -> tuple:
+    """The equivalence key of one rank: call graph + collective sequence
+    + direction-normalised p2p trace."""
+    return (
+        callgraph_signature(profile.callgraphs[rank]),
+        profile.comm.collective_sequence(rank),
+        profile.comm.p2p_signature(rank),
+    )
+
+
+def equivalence_classes(profile: ApplicationProfile) -> list[list[int]]:
+    """Partition ranks into equivalence classes.
+
+    Classes are sorted by their smallest member; members are sorted, so
+    ``classes[i][0]`` is the canonical representative.
+    """
+    by_sig: dict[tuple, list[int]] = {}
+    for rank in range(profile.nranks):
+        by_sig.setdefault(rank_signature(profile, rank), []).append(rank)
+    classes = [sorted(members) for members in by_sig.values()]
+    return sorted(classes, key=lambda c: c[0])
+
+
+def representative_of(classes: list[list[int]], rank: int) -> int:
+    """The canonical representative of ``rank``'s class."""
+    for members in classes:
+        if rank in members:
+            return members[0]
+    raise KeyError(f"rank {rank} not in any equivalence class")

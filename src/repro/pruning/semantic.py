@@ -1,0 +1,91 @@
+"""Semantic-driven fault injection (paper § III-A).
+
+MPI collective semantics already identify which processes can respond
+differently:
+
+* rooted collectives (Bcast, Reduce, Scatter, Gather): the root's
+  communication pattern differs from every non-root's, while non-roots
+  mirror each other → inject into the root and one representative
+  non-root per participating communicator;
+* non-rooted collectives: all members share the pattern → one
+  representative per participating communicator.
+
+On top of the semantic rule, ranks must also be *empirically*
+equivalent (same call graph and traces — :mod:`.equivalence`), so a
+representative is chosen per (equivalence class ∩ semantic role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..profiling.profiler import ApplicationProfile
+from ..simmpi import ROOTED_COLLECTIVES
+from ..injection.space import InjectionPoint
+from .equivalence import equivalence_classes
+
+
+@dataclass
+class SemanticSelection:
+    """Result of semantic-driven pruning."""
+
+    #: site key -> the ranks selected to represent it.
+    selected_ranks: dict[tuple[str, str], tuple[int, ...]] = field(default_factory=dict)
+    #: rank equivalence classes used.
+    classes: list[list[int]] = field(default_factory=list)
+    total_points: int = 0
+    selected_points_list: list[InjectionPoint] = field(default_factory=list)
+
+    @property
+    def selected_points(self) -> int:
+        return len(self.selected_points_list)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of injection points eliminated (the "MPI" column of
+        the paper's Table III)."""
+        if self.total_points == 0:
+            return 0.0
+        return 1.0 - self.selected_points / self.total_points
+
+
+def select_semantic(profile: ApplicationProfile) -> SemanticSelection:
+    """Apply semantic-driven pruning to a profiled application."""
+    sel = SemanticSelection(classes=equivalence_classes(profile))
+    by_site: dict[tuple[str, str], list] = {}
+    for (rank, site_key), summary in profile.summaries.items():
+        by_site.setdefault(site_key, []).append(summary)
+
+    for site_key, summaries in sorted(by_site.items()):
+        name = site_key[0]
+        participants = sorted(s.rank for s in summaries)
+        roots = {s.root_world for s in summaries if s.root_world is not None}
+
+        chosen: set[int] = set()
+        if name in ROOTED_COLLECTIVES:
+            # The root(s) observed at this site, plus one representative
+            # non-root per equivalence class that has non-root members.
+            chosen |= {r for r in roots if r in participants}
+            non_roots = set(participants) - roots
+            for members in sel.classes:
+                members_here = sorted(set(members) & non_roots)
+                if members_here:
+                    chosen.add(members_here[0])
+        else:
+            # Non-rooted: one representative per equivalence class among
+            # the participants.
+            for members in sel.classes:
+                members_here = [r for r in members if r in participants]
+                if members_here:
+                    chosen.add(members_here[0])
+
+        sel.selected_ranks[site_key] = tuple(sorted(chosen))
+
+    for (rank, site_key), summary in sorted(profile.summaries.items()):
+        sel.total_points += summary.n_invocations
+        if rank in sel.selected_ranks.get(site_key, ()):
+            for inv in range(summary.n_invocations):
+                sel.selected_points_list.append(
+                    InjectionPoint(rank, site_key[0], site_key[1], inv)
+                )
+    return sel

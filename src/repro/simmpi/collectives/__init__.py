@@ -1,0 +1,42 @@
+"""Collective communication algorithms for the simulated MPI runtime.
+
+Schedules (:mod:`binomial`, :mod:`recursive_doubling`, :mod:`ring`) are
+pure functions from ``(rank, size, root)`` to local send/recv plans;
+drivers (one module per MPI operation) execute a plan against a
+:class:`~repro.simmpi.collectives.env.CollEnv`.
+"""
+
+from .allgather import allgather
+from .allreduce import allreduce
+from .alltoall import alltoall
+from .alltoallv import alltoallv
+from .alltoallw import alltoallw
+from .barrier import barrier
+from .bcast import bcast
+from .env import CollEnv
+from .gather import gather
+from .reduce import reduce
+from .reduce_scatter import reduce_scatter_block
+from .scan import exscan, scan
+from .scatter import scatter
+from .vvariants import allgatherv, gatherv, scatterv
+
+__all__ = [
+    "CollEnv",
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "alltoallv",
+    "alltoallw",
+    "barrier",
+    "bcast",
+    "allgatherv",
+    "exscan",
+    "gather",
+    "gatherv",
+    "reduce",
+    "reduce_scatter_block",
+    "scan",
+    "scatter",
+    "scatterv",
+]

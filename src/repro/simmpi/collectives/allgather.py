@@ -1,0 +1,39 @@
+"""Ring allgather driver."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..datatypes import Datatype
+from .env import CollEnv
+from .ring import ring_allgather_steps
+
+
+def allgather(
+    env: CollEnv,
+    sendaddr: int,
+    sendcount: int,
+    recvaddr: int,
+    recvcount: int,
+    dtype: Datatype,
+) -> Generator:
+    """Gather one block from every rank into every rank's receive buffer.
+
+    Uses the ring algorithm: each rank seeds its own block, then for
+    ``n - 1`` steps forwards the block it most recently received to its
+    right neighbour.
+    """
+    n = env.size
+    sendbytes = sendcount * dtype.size
+    blockbytes = recvcount * dtype.size
+
+    own = env.memory.read(sendaddr, sendbytes)
+    env.check_truncate(own, blockbytes)
+    env.memory.write(recvaddr + env.me * blockbytes, own)
+
+    for send_to, recv_from, send_block, recv_block, step in ring_allgather_steps(env.me, n):
+        data = env.memory.read(recvaddr + send_block * blockbytes, blockbytes)
+        yield from env.send(send_to, step, data)
+        payload = yield from env.recv(recv_from, step)
+        env.check_truncate(payload, blockbytes)
+        env.memory.write(recvaddr + recv_block * blockbytes, payload)

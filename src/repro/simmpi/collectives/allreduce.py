@@ -1,0 +1,56 @@
+"""Allreduce driver: recursive doubling, with reduce+bcast fallback."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..datatypes import Datatype
+from ..ops import ReduceOp
+from .bcast import bcast
+from .env import CollEnv
+from .recursive_doubling import allreduce_peers, is_power_of_two
+from .reduce import reduce
+
+#: Step offset separating the bcast phase from the reduce phase in the
+#: non-power-of-two fallback, so their tags can never collide.
+_BCAST_STEP_BASE = 64
+
+
+def allreduce(
+    env: CollEnv,
+    sendaddr: int,
+    recvaddr: int,
+    count: int,
+    dtype: Datatype,
+    op: ReduceOp,
+    algorithm: str = "auto",
+) -> Generator:
+    """Combine ``count`` elements across all ranks; result everywhere.
+
+    Algorithms: ``"auto"`` (recursive doubling when the size is a power
+    of two, else reduce+bcast), ``"recursive_doubling"`` (forced;
+    power-of-two sizes only), or ``"reduce_bcast"``.
+    """
+    n = env.size
+    nbytes = count * dtype.size
+
+    if algorithm not in ("auto", "recursive_doubling", "reduce_bcast"):
+        raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+    if algorithm == "recursive_doubling" and not is_power_of_two(n):
+        raise ValueError("recursive_doubling requires a power-of-two size")
+    use_rd = (
+        algorithm == "recursive_doubling"
+        or (algorithm == "auto" and is_power_of_two(n))
+    )
+
+    if use_rd:
+        acc = env.memory.read(sendaddr, nbytes)
+        for peer, step in allreduce_peers(env.me, n):
+            yield from env.send(peer, step, acc)
+            payload = yield from env.recv(peer, step)
+            env.check_truncate(payload, nbytes)
+            acc = op.apply(acc, payload, dtype, rank=env.rank)
+        env.memory.write(recvaddr, acc)
+    else:
+        yield from reduce(env, sendaddr, recvaddr, count, dtype, op, root=0)
+        yield from bcast(env, recvaddr, count, dtype, root=0, step_base=_BCAST_STEP_BASE)

@@ -1,0 +1,35 @@
+"""Pairwise-exchange alltoall driver."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..datatypes import Datatype
+from .env import CollEnv
+from .ring import pairwise_alltoall_steps
+
+
+def alltoall(
+    env: CollEnv,
+    sendaddr: int,
+    sendcount: int,
+    recvaddr: int,
+    recvcount: int,
+    dtype: Datatype,
+) -> Generator:
+    """Exchange rank-major blocks: block ``j`` of rank ``i``'s send
+    buffer lands in block ``i`` of rank ``j``'s receive buffer."""
+    n = env.size
+    sendbytes = sendcount * dtype.size
+    recvbytes = recvcount * dtype.size
+
+    own = env.memory.read(sendaddr + env.me * sendbytes, sendbytes)
+    env.check_truncate(own, recvbytes)
+    env.memory.write(recvaddr + env.me * recvbytes, own)
+
+    for dst, src, step in pairwise_alltoall_steps(env.me, n):
+        data = env.memory.read(sendaddr + dst * sendbytes, sendbytes)
+        yield from env.send(dst, step, data)
+        payload = yield from env.recv(src, step)
+        env.check_truncate(payload, recvbytes)
+        env.memory.write(recvaddr + src * recvbytes, payload)

@@ -1,0 +1,42 @@
+"""Pairwise-exchange alltoallv driver (per-peer counts and displacements)."""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from ..datatypes import Datatype
+from .env import CollEnv
+from .ring import pairwise_alltoall_steps
+
+
+def alltoallv(
+    env: CollEnv,
+    sendaddr: int,
+    sendcounts: Sequence[int],
+    sdispls: Sequence[int],
+    recvaddr: int,
+    recvcounts: Sequence[int],
+    rdispls: Sequence[int],
+    dtype: Datatype,
+) -> Generator:
+    """Exchange variable-sized blocks.
+
+    Counts and displacements are in *elements*, as in MPI.  Displacements
+    are read from the caller's (possibly corrupted) arrays, so a flipped
+    displacement walks the read or write far from the buffer — usually a
+    heap smash, sometimes a segfault.
+    """
+    n = env.size
+    es = dtype.size
+    me = env.me
+
+    own = env.memory.read(sendaddr + int(sdispls[me]) * es, int(sendcounts[me]) * es)
+    env.check_truncate(own, int(recvcounts[me]) * es)
+    env.memory.write(recvaddr + int(rdispls[me]) * es, own)
+
+    for dst, src, step in pairwise_alltoall_steps(me, n):
+        data = env.memory.read(sendaddr + int(sdispls[dst]) * es, int(sendcounts[dst]) * es)
+        yield from env.send(dst, step, data)
+        payload = yield from env.recv(src, step)
+        env.check_truncate(payload, int(recvcounts[src]) * es)
+        env.memory.write(recvaddr + int(rdispls[src]) * es, payload)

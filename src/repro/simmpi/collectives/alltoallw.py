@@ -1,0 +1,51 @@
+"""Pairwise-exchange alltoallw driver (per-peer datatypes, byte displs).
+
+``MPI_Alltoallw`` is the most general collective the paper names
+("MPI_Alltoall/v/w"): per-peer counts, *byte* displacements, and
+per-peer datatypes.  The datatype arrays are arrays of pointer-like
+handles, so a single bit flip in one element sends the library chasing
+a wild pointer — a fault surface none of the other collectives has.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from ..datatypes import Datatype
+from .env import CollEnv
+from .ring import pairwise_alltoall_steps
+
+
+def alltoallw(
+    env: CollEnv,
+    sendaddr: int,
+    sendcounts: Sequence[int],
+    sdispls: Sequence[int],
+    sendtypes: Sequence[Datatype],
+    recvaddr: int,
+    recvcounts: Sequence[int],
+    rdispls: Sequence[int],
+    recvtypes: Sequence[Datatype],
+) -> Generator:
+    """Exchange per-peer blocks with individual datatypes.
+
+    Displacements are in **bytes**, as the MPI standard specifies for
+    alltoallw (unlike the element displacements of alltoallv).
+    """
+    n = env.size
+    me = env.me
+
+    own = env.memory.read(
+        sendaddr + int(sdispls[me]), int(sendcounts[me]) * sendtypes[me].size
+    )
+    env.check_truncate(own, int(recvcounts[me]) * recvtypes[me].size)
+    env.memory.write(recvaddr + int(rdispls[me]), own)
+
+    for dst, src, step in pairwise_alltoall_steps(me, n):
+        data = env.memory.read(
+            sendaddr + int(sdispls[dst]), int(sendcounts[dst]) * sendtypes[dst].size
+        )
+        yield from env.send(dst, step, data)
+        payload = yield from env.recv(src, step)
+        env.check_truncate(payload, int(recvcounts[src]) * recvtypes[src].size)
+        env.memory.write(recvaddr + int(rdispls[src]), payload)

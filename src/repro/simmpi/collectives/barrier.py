@@ -1,0 +1,23 @@
+"""Dissemination barrier driver."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .env import CollEnv
+from .recursive_doubling import dissemination_rounds
+
+
+def barrier(env: CollEnv) -> Generator:
+    """Synchronise all ranks of the communicator.
+
+    The dissemination barrier completes in ``ceil(log2 n)`` rounds at any
+    communicator size.  Barrier has no data buffer, so the only faultable
+    parameter is the communicator handle — which is why the paper finds
+    faulty barriers so lethal (Fig. 11): every fault hits the one
+    parameter whose corruption deadlocks or kills the job.
+    """
+    for send_to, recv_from, step in dissemination_rounds(env.me, env.size):
+        yield from env.send(send_to, step, b"")
+        payload = yield from env.recv(recv_from, step)
+        env.check_truncate(payload, 0)

@@ -1,0 +1,68 @@
+"""Binomial-tree broadcast driver."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..datatypes import Datatype
+from .binomial import bcast_children, bcast_parent, unvrank, vrank
+from .env import CollEnv
+
+
+def bcast(
+    env: CollEnv,
+    addr: int,
+    count: int,
+    dtype: Datatype,
+    root: int,
+    step_base: int = 0,
+    algorithm: str = "binomial",
+) -> Generator:
+    """Broadcast ``count`` elements at ``addr`` from comm-local ``root``.
+
+    Every rank computes its own tree position from its own parameters;
+    a corrupted ``root`` on one rank therefore sends/awaits messages on
+    edges no other rank uses, which ends in deadlock — the behaviour the
+    paper classifies as ``INF_LOOP``.
+
+    ``algorithm`` selects the schedule: ``"binomial"`` (MPICH-style
+    tree, the default) or ``"chain"`` (linear pipeline — corruption at a
+    rank only reaches its *downstream* neighbours, a different
+    propagation pattern).
+    """
+    if algorithm == "chain":
+        yield from _bcast_chain(env, addr, count, dtype, root, step_base)
+        return
+    if algorithm != "binomial":
+        raise ValueError(f"unknown bcast algorithm {algorithm!r}")
+    n = env.size
+    nbytes = count * dtype.size
+    v = vrank(env.me, root % n if n else 0, n)
+    parent, _ = bcast_parent(v, n)
+
+    if parent is not None:
+        payload = yield from env.recv(unvrank(parent, root, n), step_base)
+        env.check_truncate(payload, nbytes)
+        env.memory.write(addr, payload)
+
+    children = bcast_children(v, n)
+    if children:
+        data = env.memory.read(addr, nbytes)
+        for child, _edge in children:
+            yield from env.send(unvrank(child, root, n), step_base, data)
+
+
+def _bcast_chain(
+    env: CollEnv, addr: int, count: int, dtype: Datatype, root: int, step_base: int
+) -> Generator:
+    """Linear-chain broadcast: v receives from v-1, forwards to v+1."""
+    n = env.size
+    nbytes = count * dtype.size
+    v = vrank(env.me, root % n, n)
+    if v > 0:
+        payload = yield from env.recv(unvrank(v - 1, root, n), step_base)
+        env.check_truncate(payload, nbytes)
+        env.memory.write(addr, payload)
+    if v + 1 < n:
+        data = env.memory.read(addr, nbytes)
+        yield from env.send(unvrank(v + 1, root, n), step_base, data)

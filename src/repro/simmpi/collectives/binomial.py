@@ -1,0 +1,78 @@
+"""Binomial-tree schedules (MPICH-style) for rooted collectives.
+
+The tree is expressed over *virtual ranks* ``v = (rank - root) mod n`` so
+any root works.  Each helper returns only the local schedule for one
+rank; the global pattern emerges from every rank running its own — which
+is exactly what lets a corrupted ``root`` parameter on a single rank
+derail the pattern, as on a real system.
+"""
+
+from __future__ import annotations
+
+
+def vrank(rank: int, root: int, n: int) -> int:
+    """Virtual rank with the root mapped to 0."""
+    return (rank - root) % n
+
+
+def unvrank(v: int, root: int, n: int) -> int:
+    """Inverse of :func:`vrank`."""
+    return (v + root) % n
+
+
+def bcast_parent(v: int, n: int) -> tuple[int | None, int]:
+    """Parent of virtual rank ``v`` in the broadcast tree.
+
+    Returns ``(parent_vrank, mask)`` where ``mask`` is the bit position
+    at which ``v`` attaches to the tree; the root returns
+    ``(None, first_mask_ge_n)``.
+    """
+    mask = 1
+    while mask < n:
+        if v & mask:
+            return v - mask, mask
+        mask <<= 1
+    return None, mask
+
+
+def bcast_children(v: int, n: int) -> list[tuple[int, int]]:
+    """Children of virtual rank ``v``, as ``(child_vrank, step)`` pairs.
+
+    ``step`` is a per-edge index usable as a message-tag discriminator.
+    Children are produced in send order (largest subtree first), matching
+    the MPICH binomial broadcast.
+    """
+    _, mask = bcast_parent(v, n)
+    mask >>= 1
+    out: list[tuple[int, int]] = []
+    step = 0
+    while mask > 0:
+        child = v + mask
+        if child < n:
+            out.append((child, step))
+        mask >>= 1
+        step += 1
+    return out
+
+
+def reduce_schedule(v: int, n: int) -> list[tuple[str, int, int]]:
+    """Local schedule for a binomial reduction toward virtual rank 0.
+
+    Returns ordered actions ``("recv"| "send", peer_vrank, step)``:
+    a rank receives partial results from each child, then (unless it is
+    the root) sends its accumulated value to its parent.
+    """
+    actions: list[tuple[str, int, int]] = []
+    mask = 1
+    step = 0
+    while mask < n:
+        if v & mask == 0:
+            peer = v | mask
+            if peer < n:
+                actions.append(("recv", peer, step))
+        else:
+            actions.append(("send", v & ~mask, step))
+            break
+        mask <<= 1
+        step += 1
+    return actions

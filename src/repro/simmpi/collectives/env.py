@@ -1,0 +1,71 @@
+"""Execution environment shared by all collective algorithm drivers.
+
+A :class:`CollEnv` binds one rank's view of one collective invocation:
+the communicator *as that rank resolved it* (possibly corrupted), the
+rank's memory, and the tag base derived from the rank's local collective
+sequence number.  Algorithms address peers by comm-local rank and
+exchange raw byte payloads.
+
+Because every rank derives its schedule and tags from its own view,
+parameter corruption produces the same failure modes as on a real
+machine: mismatched roots or communicators leave receives unmatched
+(deadlock → ``INF_LOOP``), and oversized counts walk off the arena
+(``SEG_FAULT``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..comm import Communicator
+from ..errors import MPIError
+from ..fiber import Recv, Send
+from ..memory import Memory
+
+#: Number of tag bits reserved for the step index within one collective.
+STEP_BITS = 10
+MAX_STEPS = 1 << STEP_BITS
+
+
+class CollEnv:
+    """One rank's messaging context for a single collective invocation."""
+
+    __slots__ = ("comm", "me", "seq", "memory", "rank")
+
+    def __init__(self, comm: Communicator, my_world_rank: int, seq: int, memory: Memory):
+        self.comm = comm
+        self.rank = my_world_rank
+        self.me = comm.rank_of(my_world_rank)
+        self.seq = seq
+        self.memory = memory
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def _tag(self, step: int) -> int:
+        if not 0 <= step < MAX_STEPS:  # pragma: no cover - defensive
+            raise ValueError(f"step {step} out of tag range")
+        return (self.seq << STEP_BITS) | step
+
+    def send(self, dst_local: int, step: int, payload: bytes) -> Generator:
+        """Buffered send to comm-local rank ``dst_local``."""
+        yield Send(self.comm.context_id, self.me, dst_local % self.size, self._tag(step), payload)
+
+    def recv(self, src_local: int, step: int) -> Generator:
+        """Blocking receive from comm-local rank ``src_local``."""
+        payload = yield Recv(
+            self.comm.context_id, src_local % self.size, self.me, self._tag(step)
+        )
+        return payload
+
+    def check_truncate(self, payload: bytes, expected_nbytes: int) -> bytes:
+        """Raise ``MPI_ERR_TRUNCATE`` when a message overflows the
+        receive buffer, as real MPI does; shorter messages are legal."""
+        if len(payload) > expected_nbytes:
+            raise MPIError(
+                "MPI_ERR_TRUNCATE",
+                f"message of {len(payload)} bytes exceeds receive buffer of {expected_nbytes}",
+                rank=self.rank,
+            )
+        return payload

@@ -1,0 +1,41 @@
+"""Linear gather driver (root collects one block from every rank)."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..datatypes import Datatype
+from .env import CollEnv
+
+
+def gather(
+    env: CollEnv,
+    sendaddr: int,
+    sendcount: int,
+    recvaddr: int,
+    recvcount: int,
+    dtype: Datatype,
+    root: int,
+) -> Generator:
+    """Gather ``sendcount`` elements from every rank into the root's
+    receive buffer, rank-major (block ``r`` at ``recvaddr + r*recvcount``).
+
+    ``recvcount`` is the per-rank block size and is significant only at
+    the root, as in MPI.
+    """
+    n = env.size
+    sendbytes = sendcount * dtype.size
+    root = root % n
+
+    if env.me == root:
+        blockbytes = recvcount * dtype.size
+        for r in range(n):
+            if r == env.me:
+                payload = env.memory.read(sendaddr, sendbytes)
+            else:
+                payload = yield from env.recv(r, 0)
+            env.check_truncate(payload, blockbytes)
+            env.memory.write(recvaddr + r * blockbytes, payload)
+    else:
+        payload = env.memory.read(sendaddr, sendbytes)
+        yield from env.send(root, 0, payload)

@@ -1,0 +1,47 @@
+"""Recursive-doubling / dissemination schedules.
+
+Used for power-of-two allreduce and for the dissemination barrier (which
+works at any size).
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def allreduce_peers(rank: int, n: int) -> list[tuple[int, int]]:
+    """Exchange partners for recursive-doubling allreduce.
+
+    Only valid when ``n`` is a power of two.  Returns ordered
+    ``(peer, step)`` pairs; at every step the rank exchanges its current
+    partial result with ``peer`` and combines.
+    """
+    if not is_power_of_two(n):  # pragma: no cover - guarded by caller
+        raise ValueError(f"recursive doubling requires power-of-two size, got {n}")
+    out = []
+    mask = 1
+    step = 0
+    while mask < n:
+        out.append((rank ^ mask, step))
+        mask <<= 1
+        step += 1
+    return out
+
+
+def dissemination_rounds(rank: int, n: int) -> list[tuple[int, int, int]]:
+    """Rounds of the dissemination barrier for any ``n``.
+
+    Returns ordered ``(send_to, recv_from, step)`` triples; round ``k``
+    signals the rank ``2**k`` ahead and waits on the rank ``2**k``
+    behind.
+    """
+    out = []
+    dist = 1
+    step = 0
+    while dist < n:
+        out.append(((rank + dist) % n, (rank - dist) % n, step))
+        dist <<= 1
+        step += 1
+    return out

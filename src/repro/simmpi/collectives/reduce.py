@@ -1,0 +1,44 @@
+"""Binomial-tree reduction driver."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..datatypes import Datatype
+from ..ops import ReduceOp
+from .binomial import reduce_schedule, unvrank, vrank
+from .env import CollEnv
+
+
+def reduce(
+    env: CollEnv,
+    sendaddr: int,
+    recvaddr: int,
+    count: int,
+    dtype: Datatype,
+    op: ReduceOp,
+    root: int,
+    step_base: int = 0,
+) -> Generator:
+    """Reduce ``count`` elements elementwise onto comm-local ``root``.
+
+    Partial results flow up a binomial tree; only the root writes
+    ``recvaddr`` (as in MPI, where the receive buffer is significant
+    only at the root).
+    """
+    n = env.size
+    nbytes = count * dtype.size
+    v = vrank(env.me, root % n, n)
+
+    acc = env.memory.read(sendaddr, nbytes)
+    for action, peer_v, step in reduce_schedule(v, n):
+        peer = unvrank(peer_v, root, n)
+        if action == "recv":
+            payload = yield from env.recv(peer, step_base + step)
+            env.check_truncate(payload, nbytes)
+            acc = op.apply(acc, payload, dtype, rank=env.rank)
+        else:
+            yield from env.send(peer, step_base + step, acc)
+
+    if v == 0:
+        env.memory.write(recvaddr, acc)

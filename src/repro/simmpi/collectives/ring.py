@@ -1,0 +1,31 @@
+"""Ring and pairwise-exchange schedules (allgather, alltoall)."""
+
+from __future__ import annotations
+
+
+def ring_allgather_steps(rank: int, n: int) -> list[tuple[int, int, int, int, int]]:
+    """Schedule for the ring allgather.
+
+    Returns ordered ``(send_to, recv_from, send_block, recv_block, step)``
+    tuples.  At step ``s`` each rank forwards block ``(rank - s) mod n``
+    to its right neighbour and receives block ``(rank - s - 1) mod n``
+    from its left neighbour; after ``n - 1`` steps every rank holds all
+    blocks.
+    """
+    right = (rank + 1) % n
+    left = (rank - 1) % n
+    return [
+        (right, left, (rank - s) % n, (rank - s - 1) % n, s)
+        for s in range(n - 1)
+    ]
+
+
+def pairwise_alltoall_steps(rank: int, n: int) -> list[tuple[int, int, int]]:
+    """Schedule for the pairwise-exchange alltoall.
+
+    Returns ordered ``(dst, src, step)`` tuples: at step ``s`` the rank
+    sends its block for ``(rank + s) mod n`` and receives the block from
+    ``(rank - s) mod n``.  The own-block copy (step 0) is handled locally
+    by the driver.
+    """
+    return [((rank + s) % n, (rank - s) % n, s) for s in range(1, n)]

@@ -1,0 +1,61 @@
+"""Inclusive and exclusive prefix reductions (MPI_Scan / MPI_Exscan).
+
+Chain algorithm: rank ``r`` waits for the inclusive prefix of ranks
+``0..r-1`` from its left neighbour, combines, and forwards.  Linear
+latency, but prefix traffic is rare in the workloads and the chain keeps
+the per-rank schedule trivially derived from local parameters (the
+property the fault model relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..datatypes import Datatype
+from ..ops import ReduceOp
+from .env import CollEnv
+
+
+def scan(
+    env: CollEnv,
+    sendaddr: int,
+    recvaddr: int,
+    count: int,
+    dtype: Datatype,
+    op: ReduceOp,
+) -> Generator:
+    """Inclusive prefix reduction: rank r receives x_0 ⊕ … ⊕ x_r."""
+    nbytes = count * dtype.size
+    mine = env.memory.read(sendaddr, nbytes)
+    if env.me > 0:
+        prefix = yield from env.recv(env.me - 1, 0)
+        env.check_truncate(prefix, nbytes)
+        mine = op.apply(prefix, mine, dtype, rank=env.rank)
+    env.memory.write(recvaddr, mine)
+    if env.me + 1 < env.size:
+        yield from env.send(env.me + 1, 0, mine)
+
+
+def exscan(
+    env: CollEnv,
+    sendaddr: int,
+    recvaddr: int,
+    count: int,
+    dtype: Datatype,
+    op: ReduceOp,
+) -> Generator:
+    """Exclusive prefix reduction: rank r receives x_0 ⊕ … ⊕ x_{r-1}.
+
+    Rank 0's receive buffer is undefined in MPI and left untouched.
+    """
+    nbytes = count * dtype.size
+    mine = env.memory.read(sendaddr, nbytes)
+    if env.me == 0:
+        inclusive = mine
+    else:
+        prefix = yield from env.recv(env.me - 1, 0)
+        env.check_truncate(prefix, nbytes)
+        env.memory.write(recvaddr, prefix)
+        inclusive = op.apply(prefix, mine, dtype, rank=env.rank)
+    if env.me + 1 < env.size:
+        yield from env.send(env.me + 1, 0, inclusive)

@@ -1,0 +1,41 @@
+"""Linear scatter driver (root distributes one block to every rank)."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..datatypes import Datatype
+from .env import CollEnv
+
+
+def scatter(
+    env: CollEnv,
+    sendaddr: int,
+    sendcount: int,
+    recvaddr: int,
+    recvcount: int,
+    dtype: Datatype,
+    root: int,
+) -> Generator:
+    """Scatter rank-major blocks of ``sendcount`` elements from the root.
+
+    ``sendcount``/``sendaddr`` are significant only at the root, as in
+    MPI.
+    """
+    n = env.size
+    recvbytes = recvcount * dtype.size
+    root = root % n
+
+    if env.me == root:
+        blockbytes = sendcount * dtype.size
+        for r in range(n):
+            block = env.memory.read(sendaddr + r * blockbytes, blockbytes)
+            if r == env.me:
+                env.check_truncate(block, recvbytes)
+                env.memory.write(recvaddr, block)
+            else:
+                yield from env.send(r, 0, block)
+    else:
+        payload = yield from env.recv(root, 0)
+        env.check_truncate(payload, recvbytes)
+        env.memory.write(recvaddr, payload)

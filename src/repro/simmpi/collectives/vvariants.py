@@ -1,0 +1,103 @@
+"""Variable-count rooted collectives: Gatherv, Scatterv, Allgatherv.
+
+Counts and displacements are in elements and — as everywhere in this
+simulator — are read from the caller's possibly-corrupted parameter
+values, so flipped counts/displacements reach out of the buffers exactly
+as they would in a real implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from ..datatypes import Datatype
+from .env import CollEnv
+from .ring import ring_allgather_steps
+
+
+def gatherv(
+    env: CollEnv,
+    sendaddr: int,
+    sendcount: int,
+    recvaddr: int,
+    recvcounts: Sequence[int],
+    displs: Sequence[int],
+    dtype: Datatype,
+    root: int,
+) -> Generator:
+    """Gather variable-sized contributions to the root.
+
+    ``recvcounts``/``displs`` are significant only at the root.
+    """
+    n = env.size
+    es = dtype.size
+    root = root % n
+    if env.me == root:
+        for r in range(n):
+            if r == env.me:
+                payload = env.memory.read(sendaddr, sendcount * es)
+            else:
+                payload = yield from env.recv(r, 0)
+            env.check_truncate(payload, int(recvcounts[r]) * es)
+            env.memory.write(recvaddr + int(displs[r]) * es, payload)
+    else:
+        payload = env.memory.read(sendaddr, sendcount * es)
+        yield from env.send(root, 0, payload)
+
+
+def scatterv(
+    env: CollEnv,
+    sendaddr: int,
+    sendcounts: Sequence[int],
+    displs: Sequence[int],
+    recvaddr: int,
+    recvcount: int,
+    dtype: Datatype,
+    root: int,
+) -> Generator:
+    """Scatter variable-sized blocks from the root."""
+    n = env.size
+    es = dtype.size
+    root = root % n
+    if env.me == root:
+        for r in range(n):
+            block = env.memory.read(
+                sendaddr + int(displs[r]) * es, int(sendcounts[r]) * es
+            )
+            if r == env.me:
+                env.check_truncate(block, recvcount * es)
+                env.memory.write(recvaddr, block)
+            else:
+                yield from env.send(r, 0, block)
+    else:
+        payload = yield from env.recv(root, 0)
+        env.check_truncate(payload, recvcount * es)
+        env.memory.write(recvaddr, payload)
+
+
+def allgatherv(
+    env: CollEnv,
+    sendaddr: int,
+    sendcount: int,
+    recvaddr: int,
+    recvcounts: Sequence[int],
+    displs: Sequence[int],
+    dtype: Datatype,
+) -> Generator:
+    """Ring allgather with per-rank block sizes and displacements."""
+    n = env.size
+    es = dtype.size
+    me = env.me
+
+    own = env.memory.read(sendaddr, sendcount * es)
+    env.check_truncate(own, int(recvcounts[me]) * es)
+    env.memory.write(recvaddr + int(displs[me]) * es, own)
+
+    for send_to, recv_from, send_block, recv_block, step in ring_allgather_steps(me, n):
+        data = env.memory.read(
+            recvaddr + int(displs[send_block]) * es, int(recvcounts[send_block]) * es
+        )
+        yield from env.send(send_to, step, data)
+        payload = yield from env.recv(recv_from, step)
+        env.check_truncate(payload, int(recvcounts[recv_block]) * es)
+        env.memory.write(recvaddr + int(displs[recv_block]) * es, payload)

@@ -1,0 +1,110 @@
+"""Communicators for the simulated MPI runtime.
+
+A :class:`Communicator` is a group of world ranks plus a *context id*.
+As in real MPI, the context id is what isolates traffic: every message is
+matched on ``(context_id, src, dst, tag)``, so a rank that joins a
+collective with a corrupted-but-alive communicator handle simply talks
+into a different context and the original collective deadlocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import MPIError
+from .handles import HandleSpace
+
+
+@dataclass(frozen=True)
+class Communicator:
+    """An MPI communicator.
+
+    Attributes
+    ----------
+    context_id:
+        Globally unique id for message matching.
+    group:
+        World ranks that are members, in comm-rank order.
+    name:
+        Debug label (``"MPI_COMM_WORLD"`` for the world comm).
+    """
+
+    context_id: int
+    group: tuple[int, ...]
+    name: str = ""
+    _rank_of: dict[int, int] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "_rank_of", {world: local for local, world in enumerate(self.group)}
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    def rank_of(self, world_rank: int) -> int:
+        """Comm-local rank of ``world_rank``; MPI_ERR if not a member."""
+        try:
+            return self._rank_of[world_rank]
+        except KeyError:
+            raise MPIError(
+                "MPI_ERR_COMM",
+                f"rank {world_rank} is not in communicator {self.name or self.context_id}",
+                rank=world_rank,
+            ) from None
+
+    def world_rank(self, local_rank: int) -> int:
+        """World rank of comm-local ``local_rank``."""
+        if not 0 <= local_rank < self.size:
+            raise MPIError("MPI_ERR_RANK", f"local rank {local_rank} out of range")
+        return self.group[local_rank]
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._rank_of
+
+
+class CommFactory:
+    """Creates communicators with unique context ids.
+
+    One factory per runtime; it also owns the pointer-like handle space
+    so that corrupted comm handles behave like corrupted pointers (see
+    :mod:`repro.simmpi.handles`).
+    """
+
+    def __init__(self):
+        self.space: HandleSpace[Communicator] = HandleSpace("comm", base=0x7F4C_0000_0000)
+        self._next_context = 1
+
+    def create(self, group: tuple[int, ...], name: str = "") -> tuple[Communicator, int]:
+        """Create a communicator over ``group``; returns (comm, handle)."""
+        if len(set(group)) != len(group):
+            raise ValueError(f"duplicate ranks in group {group}")
+        comm = Communicator(self._next_context, tuple(group), name or f"comm#{self._next_context}")
+        self._next_context += 1
+        handle = self.space.register(comm)
+        return comm, handle
+
+    def world(self, nranks: int) -> tuple[Communicator, int]:
+        """Create MPI_COMM_WORLD over ``nranks`` ranks."""
+        return self.create(tuple(range(nranks)), name="MPI_COMM_WORLD")
+
+    def split(
+        self, parent: Communicator, assignments: dict[int, int]
+    ) -> dict[int, tuple[Communicator, int]]:
+        """MPI_Comm_split: partition ``parent`` by colour.
+
+        ``assignments`` maps each member world rank to a colour.  Returns
+        ``colour -> (comm, handle)``; key order (rank order within a
+        colour) follows world-rank order, as with equal keys in MPI.
+        """
+        colours: dict[int, list[int]] = {}
+        for world in parent.group:
+            colour = assignments.get(world)
+            if colour is None:
+                continue
+            colours.setdefault(colour, []).append(world)
+        return {
+            colour: self.create(tuple(sorted(members)), name=f"{parent.name}/split{colour}")
+            for colour, members in sorted(colours.items())
+        }

@@ -1,0 +1,79 @@
+"""MPI datatype registry for the simulated runtime.
+
+Only the basic C datatypes that the paper's workloads use are modelled.
+Each datatype carries its byte size and the numpy dtype used to interpret
+message payloads during reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .handles import HandleSpace
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A basic MPI datatype.
+
+    Attributes
+    ----------
+    name:
+        The MPI name, e.g. ``"MPI_DOUBLE"``.
+    np_dtype:
+        The numpy dtype used to reinterpret raw message bytes.
+    """
+
+    name: str
+    np_dtype: np.dtype
+
+    @property
+    def size(self) -> int:
+        """Extent of one element in bytes."""
+        return self.np_dtype.itemsize
+
+    @property
+    def is_integer(self) -> bool:
+        return np.issubdtype(self.np_dtype, np.integer)
+
+    @property
+    def is_float(self) -> bool:
+        return np.issubdtype(self.np_dtype, np.floating) or np.issubdtype(
+            self.np_dtype, np.complexfloating
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Datatype({self.name})"
+
+
+#: The basic datatypes the workloads use, in registration order.  The
+#: order determines handle addresses, hence which pairs of datatypes are
+#: a single bit flip apart.
+_BASIC_TYPES: list[tuple[str, str]] = [
+    ("MPI_CHAR", "i1"),
+    ("MPI_INT", "i4"),
+    ("MPI_LONG", "i8"),
+    ("MPI_FLOAT", "f4"),
+    ("MPI_DOUBLE", "f8"),
+    ("MPI_UNSIGNED", "u4"),
+    ("MPI_UNSIGNED_LONG", "u8"),
+    ("MPI_COMPLEX", "c8"),
+    ("MPI_DOUBLE_COMPLEX", "c16"),
+    ("MPI_BYTE", "u1"),
+]
+
+
+def make_datatype_space() -> tuple[HandleSpace[Datatype], dict[str, int]]:
+    """Build a fresh datatype handle space.
+
+    Returns the space and a ``name -> handle`` map.  Every runtime
+    instance gets its own space so tests cannot leak state.
+    """
+    space: HandleSpace[Datatype] = HandleSpace("type")
+    by_name: dict[str, int] = {}
+    for name, np_name in _BASIC_TYPES:
+        handle = space.register(Datatype(name, np.dtype(np_name)))
+        by_name[name] = handle
+    return space, by_name

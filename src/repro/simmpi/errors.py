@@ -1,0 +1,96 @@
+"""Exception taxonomy for the simulated MPI runtime.
+
+The hierarchy mirrors the failure surface FastFIT observes on a real
+machine (Table I of the paper):
+
+* :class:`MPIError` — the MPI library detects a bad argument or an
+  internal protocol violation and aborts the job (``MPI_ERR``).
+* :class:`SegmentationFault` — a simulated memory access outside the
+  rank's mapped arena (``SEG_FAULT``).
+* :class:`AppError` — the application's own error-handling code detects
+  the problem and aborts (``APP_DETECTED``).
+* :class:`DeadlockError` / :class:`StepBudgetExceeded` — the run never
+  terminates and is killed by the harness (``INF_LOOP``).
+
+``SUCCESS`` and ``WRONG_ANS`` are not exceptions: they are decided by the
+injection runner after a run completes, by comparing against a golden run.
+"""
+
+from __future__ import annotations
+
+
+class SimMPIError(Exception):
+    """Base class for every error raised by the simulated runtime."""
+
+
+class MPIError(SimMPIError):
+    """The simulated MPI library detected an error (``MPI_ERR``).
+
+    Parameters
+    ----------
+    errclass:
+        A short machine-readable error class, e.g. ``"MPI_ERR_COUNT"``.
+    message:
+        Human-readable description.
+    rank:
+        The rank on which the error was raised, if known.
+    """
+
+    def __init__(self, errclass: str, message: str = "", rank: int | None = None):
+        self.errclass = errclass
+        self.rank = rank
+        super().__init__(f"{errclass}: {message}" + (f" (rank {rank})" if rank is not None else ""))
+
+
+class SegmentationFault(SimMPIError):
+    """A simulated out-of-arena memory access (``SEG_FAULT``)."""
+
+    def __init__(self, addr: int, nbytes: int, rank: int | None = None):
+        self.addr = addr
+        self.nbytes = nbytes
+        self.rank = rank
+        super().__init__(
+            f"segmentation fault: access [{addr:#x}, {addr + nbytes:#x})"
+            + (f" on rank {rank}" if rank is not None else "")
+        )
+
+
+class AppError(SimMPIError):
+    """The application's own error handling detected a fault (``APP_DETECTED``)."""
+
+    def __init__(self, message: str = "", rank: int | None = None):
+        self.rank = rank
+        super().__init__(message + (f" (rank {rank})" if rank is not None else ""))
+
+
+class DeadlockError(SimMPIError):
+    """No fiber can make progress; the job would hang forever (``INF_LOOP``)."""
+
+    def __init__(self, blocked: dict[int, str] | None = None):
+        self.blocked = dict(blocked or {})
+        detail = "; ".join(f"rank {r}: {w}" for r, w in sorted(self.blocked.items()))
+        super().__init__(f"deadlock detected ({detail})" if detail else "deadlock detected")
+
+
+class StepBudgetExceeded(SimMPIError):
+    """The run exceeded its event budget; treated as a hang (``INF_LOOP``)."""
+
+    def __init__(self, budget: int):
+        self.budget = budget
+        super().__init__(f"step budget of {budget} events exceeded")
+
+
+class FiberCrashed(SimMPIError):
+    """Wrapper carrying an arbitrary exception out of a rank fiber.
+
+    A Python-level exception that is neither an :class:`MPIError`, a
+    :class:`SegmentationFault`, nor an :class:`AppError` escaped the
+    application code of one rank.  On a real system such a crash is
+    usually surfaced as a signal (classified ``SEG_FAULT``) — the
+    injection runner performs that mapping.
+    """
+
+    def __init__(self, rank: int, original: BaseException):
+        self.rank = rank
+        self.original = original
+        super().__init__(f"rank {rank} crashed: {type(original).__name__}: {original}")

@@ -1,0 +1,101 @@
+"""Rank fibers and the syscall protocol.
+
+Each MPI rank is a *fiber*: a Python generator that yields
+:class:`Syscall` objects whenever it needs the runtime (to send or
+receive a message, or just to report compute progress).  Application code
+is written as generator functions and composed with ``yield from``, which
+keeps the full logical call stack on the real interpreter stack — that is
+what lets the profiler capture genuine backtraces at collective call
+sites, exactly like the paper's use of ``backtrace()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Generator
+
+
+class Syscall:
+    """Base class for everything a fiber may yield to the scheduler."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Send(Syscall):
+    """Buffered (non-blocking-complete) message send.
+
+    Matching key is ``(context_id, src, dst, tag)``; ``src``/``dst`` are
+    comm-local ranks within the context.
+    """
+
+    context_id: int
+    src: int
+    dst: int
+    tag: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class Recv(Syscall):
+    """Blocking receive; the scheduler resumes the fiber with the payload."""
+
+    context_id: int
+    src: int
+    dst: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class Progress(Syscall):
+    """A cooperative tick emitted from compute loops.
+
+    ``weight`` counts against the run's step budget, so a runaway compute
+    loop (e.g. a corrupted iteration bound) is eventually classified as
+    ``INF_LOOP`` instead of hanging the harness.
+    """
+
+    weight: int = 1
+
+
+class FiberState(Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Fiber:
+    """One rank's execution context."""
+
+    __slots__ = ("rank", "gen", "state", "result", "error", "resume_value", "wait_reason")
+
+    def __init__(self, rank: int, gen: Generator[Syscall, Any, Any]):
+        self.rank = rank
+        self.gen = gen
+        self.state = FiberState.READY
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.resume_value: Any = None
+        #: Human-readable description of what the fiber is blocked on,
+        #: used in deadlock reports.
+        self.wait_reason: str = ""
+
+    def step(self) -> Syscall | None:
+        """Advance the fiber to its next syscall.
+
+        Returns the yielded syscall, or ``None`` when the fiber
+        completed (its return value is stored in ``result``).  Any
+        exception escaping the generator is re-raised to the scheduler.
+        """
+        value, self.resume_value = self.resume_value, None
+        try:
+            return self.gen.send(value)
+        except StopIteration as stop:
+            self.state = FiberState.DONE
+            self.result = stop.value
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Fiber(rank={self.rank}, state={self.state.value})"

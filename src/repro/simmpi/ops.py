@@ -1,0 +1,85 @@
+"""MPI reduction operation registry for the simulated runtime.
+
+Each op knows how to combine two raw byte payloads interpreted through a
+:class:`~repro.simmpi.datatypes.Datatype`, and which datatypes it is
+defined for (``MPI_BAND`` on a float is an ``MPI_ERR_OP`` in real MPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .datatypes import Datatype
+from .errors import MPIError
+from .handles import HandleSpace
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A predefined MPI reduction operation.
+
+    Attributes
+    ----------
+    name:
+        MPI name, e.g. ``"MPI_SUM"``.
+    fn:
+        Elementwise combiner over two numpy arrays.
+    integer_only:
+        True for bitwise/logical ops that real MPI rejects on floats.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray] = field(repr=False)
+    integer_only: bool = False
+
+    def apply(self, a: bytes, b: bytes, dtype: Datatype, *, rank: int | None = None) -> bytes:
+        """Combine payloads ``a`` (partial result) and ``b`` elementwise.
+
+        Raises :class:`MPIError` when the op is undefined for ``dtype``,
+        mirroring ``MPI_ERR_OP``.
+        """
+        if self.integer_only and not dtype.is_integer:
+            raise MPIError(
+                "MPI_ERR_OP",
+                f"{self.name} is not defined for {dtype.name}",
+                rank=rank,
+            )
+        av = np.frombuffer(a, dtype=dtype.np_dtype)
+        bv = np.frombuffer(b, dtype=dtype.np_dtype)
+        n = min(av.size, bv.size)
+        with np.errstate(all="ignore"):
+            out = self.fn(av[:n], bv[:n])
+        return np.ascontiguousarray(out.astype(dtype.np_dtype, copy=False)).tobytes()
+
+
+def _logical(fn: Callable[[np.ndarray, np.ndarray], np.ndarray]):
+    def wrapped(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return fn(a != 0, b != 0).astype(a.dtype)
+
+    return wrapped
+
+
+#: Predefined ops in registration order (determines handle layout).
+_PREDEFINED: list[ReduceOp] = [
+    ReduceOp("MPI_SUM", np.add),
+    ReduceOp("MPI_PROD", np.multiply),
+    ReduceOp("MPI_MAX", np.maximum),
+    ReduceOp("MPI_MIN", np.minimum),
+    ReduceOp("MPI_LAND", _logical(np.logical_and)),
+    ReduceOp("MPI_LOR", _logical(np.logical_or)),
+    ReduceOp("MPI_BAND", np.bitwise_and, integer_only=True),
+    ReduceOp("MPI_BOR", np.bitwise_or, integer_only=True),
+    ReduceOp("MPI_BXOR", np.bitwise_xor, integer_only=True),
+]
+
+
+def make_op_space() -> tuple[HandleSpace[ReduceOp], dict[str, int]]:
+    """Build a fresh op handle space; returns it plus a name→handle map."""
+    space: HandleSpace[ReduceOp] = HandleSpace("op", base=0x7F4B_0000_0000)
+    by_name: dict[str, int] = {}
+    for op in _PREDEFINED:
+        by_name[op.name] = space.register(op)
+    return space, by_name

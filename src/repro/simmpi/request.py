@@ -1,0 +1,34 @@
+"""Nonblocking point-to-point requests.
+
+``Isend`` completes immediately (the runtime buffers eagerly, like an
+MPI implementation under the eager threshold), so its request is born
+complete.  ``Irecv`` is *lazy*: the matching receive is performed when
+the request is waited on.  With eager-buffered sends and no wildcard
+receives this is observationally equivalent to posting early, and it
+keeps the scheduler's blocking model simple — a deliberate simulator
+simplification documented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Request:
+    """Handle for a nonblocking operation.
+
+    ``kind`` is ``"send"`` or ``"recv"``; completed requests carry the
+    received element count in ``result`` (sends carry ``0``).
+    """
+
+    kind: str
+    complete: bool = False
+    result: int = 0
+    #: Deferred receive coordinates (lazy Irecv), consumed by Wait.
+    _pending: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    @property
+    def is_send(self) -> bool:
+        return self.kind == "send"

@@ -1,0 +1,121 @@
+"""Top-level simulated MPI runtime.
+
+One :class:`SimMPI` instance is one job: it owns the handle spaces, the
+world communicator, and the per-rank contexts, and drives the fibers to
+completion.  Runtimes are single-use so every run — golden or injected —
+sees an identical, deterministic handle layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Sequence
+
+from .calls import Instrument
+from .comm import CommFactory
+from .context import Context
+from .datatypes import make_datatype_space
+from .fiber import Fiber
+from .memory import DEFAULT_ARENA_SIZE
+from .ops import make_op_space
+from .scheduler import DEFAULT_STEP_BUDGET, Scheduler
+
+#: Signature of an application entry point: a generator function taking
+#: a per-rank :class:`~repro.simmpi.context.Context`.
+AppFn = Callable[[Context], Generator]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one complete job execution.
+
+    Attributes
+    ----------
+    results:
+        Per-rank return values of the application entry point.
+    steps:
+        Total scheduler events consumed.
+    contexts:
+        The per-rank contexts (profilers read their counters from here).
+    """
+
+    results: list[Any]
+    steps: int
+    contexts: list[Context] = field(repr=False, default_factory=list)
+
+
+class SimMPI:
+    """A single simulated MPI job.
+
+    Parameters
+    ----------
+    nranks:
+        Number of MPI processes.
+    step_budget:
+        Scheduler event budget; exceeding it means ``INF_LOOP``.
+    arena_size:
+        Per-rank simulated memory size in bytes.
+    """
+
+    #: Recognised collective-algorithm selections per operation.
+    ALGORITHM_CHOICES = {
+        "bcast": ("binomial", "chain"),
+        "allreduce": ("auto", "recursive_doubling", "reduce_bcast"),
+    }
+
+    def __init__(
+        self,
+        nranks: int,
+        step_budget: int = DEFAULT_STEP_BUDGET,
+        arena_size: int = DEFAULT_ARENA_SIZE,
+        algorithms: dict[str, str] | None = None,
+    ):
+        if nranks < 1:
+            raise ValueError(f"need at least one rank, got {nranks}")
+        self.nranks = nranks
+        self.step_budget = step_budget
+        self.arena_size = arena_size
+        self.algorithms = {"bcast": "binomial", "allreduce": "auto"}
+        for key, value in (algorithms or {}).items():
+            if key not in self.ALGORITHM_CHOICES:
+                raise ValueError(f"no algorithm choice for {key!r}")
+            if value not in self.ALGORITHM_CHOICES[key]:
+                raise ValueError(
+                    f"unknown {key} algorithm {value!r}; "
+                    f"choices: {self.ALGORITHM_CHOICES[key]}"
+                )
+            self.algorithms[key] = value
+        self.type_space, self.type_handles = make_datatype_space()
+        self.op_space, self.op_handles = make_op_space()
+        self.comm_factory = CommFactory()
+        self.world, self.world_handle = self.comm_factory.world(nranks)
+        self._used = False
+
+    def run(self, app_fn: AppFn, instruments: Sequence[Instrument] = ()) -> RunResult:
+        """Execute ``app_fn`` on every rank and return the results.
+
+        Raises whatever error aborts the job (see
+        :mod:`repro.simmpi.errors`); runtimes are single-use.
+        """
+        if self._used:
+            raise RuntimeError("SimMPI runtimes are single-use; create a fresh one per run")
+        self._used = True
+        contexts = [Context(self, rank, instruments) for rank in range(self.nranks)]
+        fibers = [Fiber(rank, app_fn(ctx)) for rank, ctx in enumerate(contexts)]
+        scheduler = Scheduler(fibers, step_budget=self.step_budget)
+        results = scheduler.run()
+        return RunResult(results=results, steps=scheduler.steps, contexts=contexts)
+
+
+def run_app(
+    app_fn: AppFn,
+    nranks: int,
+    instruments: Sequence[Instrument] = (),
+    step_budget: int = DEFAULT_STEP_BUDGET,
+    arena_size: int = DEFAULT_ARENA_SIZE,
+    algorithms: dict[str, str] | None = None,
+) -> RunResult:
+    """Convenience wrapper: build a fresh runtime and run ``app_fn``."""
+    return SimMPI(
+        nranks, step_budget=step_budget, arena_size=arena_size, algorithms=algorithms
+    ).run(app_fn, instruments=instruments)

@@ -1,0 +1,127 @@
+"""Cooperative round-robin scheduler with message matching.
+
+The scheduler advances one fiber at a time in deterministic rank order,
+matches :class:`~repro.simmpi.fiber.Send`/:class:`~repro.simmpi.fiber.Recv`
+syscalls on ``(context_id, src, dst, tag)``, detects deadlock (every live
+fiber blocked on a receive that can never be satisfied), and enforces a
+global event budget so that runaway loops terminate deterministically.
+
+There is no wall-clock anywhere: the same program with the same injected
+fault always produces the same trace, which is what makes fault-injection
+campaigns reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .errors import DeadlockError, FiberCrashed, SimMPIError, StepBudgetExceeded
+from .fiber import Fiber, FiberState, Progress, Recv, Send
+
+#: Default event budget per run.  Fault-free workloads in this repository
+#: use well under 10% of this; a corrupted loop bound blows through it.
+DEFAULT_STEP_BUDGET = 2_000_000
+
+MatchKey = tuple[int, int, int, int]
+
+
+class Scheduler:
+    """Runs a set of rank fibers to completion.
+
+    Parameters
+    ----------
+    fibers:
+        One fiber per rank, indexed by world rank.
+    step_budget:
+        Maximum number of syscalls (weighted) before the run is declared
+        hung.
+    """
+
+    def __init__(self, fibers: list[Fiber], step_budget: int = DEFAULT_STEP_BUDGET):
+        self.fibers = fibers
+        self.step_budget = step_budget
+        self.steps = 0
+        #: Unconsumed messages: match key -> FIFO of payloads.
+        self.mailbox: dict[MatchKey, deque[bytes]] = {}
+        #: Fibers blocked on a receive: match key -> fiber.
+        self.waiting: dict[MatchKey, Fiber] = {}
+
+    # -- syscall handling --------------------------------------------
+
+    def _handle_send(self, call: Send) -> None:
+        key = (call.context_id, call.src, call.dst, call.tag)
+        waiter = self.waiting.pop(key, None)
+        if waiter is not None:
+            waiter.resume_value = call.payload
+            waiter.state = FiberState.READY
+            waiter.wait_reason = ""
+            self._ready.append(waiter)
+        else:
+            self.mailbox.setdefault(key, deque()).append(call.payload)
+
+    def _handle_recv(self, fiber: Fiber, call: Recv) -> bool:
+        """Returns True if the fiber stays ready (message available)."""
+        key = (call.context_id, call.src, call.dst, call.tag)
+        queue = self.mailbox.get(key)
+        if queue:
+            fiber.resume_value = queue.popleft()
+            if not queue:
+                del self.mailbox[key]
+            return True
+        if key in self.waiting:  # pragma: no cover - defensive
+            raise RuntimeError(f"duplicate receive posted for {key}")
+        fiber.state = FiberState.BLOCKED
+        fiber.wait_reason = (
+            f"recv(ctx={call.context_id}, src={call.src}, dst={call.dst}, tag={call.tag:#x})"
+        )
+        self.waiting[key] = fiber
+        return False
+
+    # -- main loop ----------------------------------------------------
+
+    def run(self) -> list[Any]:
+        """Drive every fiber to completion; return per-rank results.
+
+        Raises the first error any fiber produces (the whole job aborts,
+        as with a default MPI error handler), :class:`DeadlockError` when
+        no progress is possible, or :class:`StepBudgetExceeded`.
+        """
+        self._ready: deque[Fiber] = deque(self.fibers)
+        while self._ready:
+            fiber = self._ready.popleft()
+            if fiber.state is not FiberState.READY:
+                continue
+            try:
+                call = fiber.step()
+            except SimMPIError:
+                fiber.state = FiberState.FAILED
+                raise
+            except BaseException as exc:
+                fiber.state = FiberState.FAILED
+                raise FiberCrashed(fiber.rank, exc) from exc
+
+            if call is None:  # fiber finished
+                continue
+
+            self.steps += call.weight if isinstance(call, Progress) else 1
+            if self.steps > self.step_budget:
+                raise StepBudgetExceeded(self.step_budget)
+
+            if isinstance(call, Send):
+                self._handle_send(call)
+                self._ready.append(fiber)
+            elif isinstance(call, Recv):
+                if self._handle_recv(fiber, call):
+                    self._ready.append(fiber)
+            elif isinstance(call, Progress):
+                self._ready.append(fiber)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"fiber {fiber.rank} yielded {call!r}")
+
+            if not self._ready and self.waiting:
+                raise DeadlockError({f.rank: f.wait_reason for f in self.waiting.values()})
+
+        if self.waiting:
+            raise DeadlockError({f.rank: f.wait_reason for f in self.waiting.values()})
+        return [f.result for f in self.fibers]

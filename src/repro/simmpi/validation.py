@@ -1,0 +1,81 @@
+"""MPI argument validation — the ``MPI_ERR`` surface.
+
+Validation mirrors what a real implementation checks on entry: handle
+resolution (which, with pointer-like handles, may itself segfault — see
+:mod:`repro.simmpi.handles`), count signs, root ranges, and membership.
+Anything that passes validation but is still wrong (an oversized count, a
+mismatched root) fails later, inside the algorithms, exactly as on a
+real machine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from .comm import Communicator
+from .datatypes import Datatype
+from .errors import MPIError
+from .ops import ReduceOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import SimMPI
+
+
+def _as_int(value: Any) -> int:
+    """Coerce counts/roots to Python ints (numpy scalars flow in from
+    application code and from bit-flipped parameter values)."""
+    return int(value)
+
+
+def check_count(count: Any, *, rank: int | None = None, what: str = "count") -> int:
+    count = _as_int(count)
+    if count < 0:
+        raise MPIError("MPI_ERR_COUNT", f"negative {what}: {count}", rank=rank)
+    return count
+
+
+def check_counts_array(values: Sequence[int], *, rank: int | None = None, what: str = "counts") -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if (arr < 0).any():
+        bad = int(arr[arr < 0][0])
+        raise MPIError("MPI_ERR_COUNT", f"negative entry in {what}: {bad}", rank=rank)
+    return arr
+
+
+def resolve_datatype(runtime: "SimMPI", handle: Any, *, rank: int | None = None) -> Datatype:
+    return runtime.type_space.resolve(_as_int(handle), rank=rank)
+
+
+def resolve_op(runtime: "SimMPI", handle: Any, *, rank: int | None = None) -> ReduceOp:
+    return runtime.op_space.resolve(_as_int(handle), rank=rank)
+
+
+def resolve_comm(runtime: "SimMPI", handle: Any, *, rank: int | None = None) -> Communicator:
+    comm = runtime.comm_factory.space.resolve(_as_int(handle), rank=rank)
+    if rank is not None and not comm.contains(rank):
+        # A corrupted handle aliased a live communicator this rank is not
+        # a member of; real MPI reports an invalid communicator.
+        raise MPIError(
+            "MPI_ERR_COMM",
+            f"rank {rank} is not a member of {comm.name}",
+            rank=rank,
+        )
+    return comm
+
+
+def check_root(root: Any, comm: Communicator, *, rank: int | None = None) -> int:
+    root = _as_int(root)
+    if not 0 <= root < comm.size:
+        raise MPIError(
+            "MPI_ERR_ROOT", f"root {root} out of range for size {comm.size}", rank=rank
+        )
+    return root
+
+
+def check_addr(addr: Any, *, rank: int | None = None, what: str = "buffer") -> int:
+    addr = _as_int(addr)
+    if addr < 0:
+        raise MPIError("MPI_ERR_BUFFER", f"negative {what} address", rank=rank)
+    return addr

@@ -1,0 +1,97 @@
+"""Golden-run behaviour common to every workload."""
+
+import pytest
+
+from repro.apps import APPLICATIONS, NPB_NAMES, make_app, signatures_match
+from repro.simmpi import run_app
+
+ALL_NAMES = sorted(APPLICATIONS)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_clean_run_completes(name):
+    app = make_app(name, "T")
+    res = run_app(app.main, app.nranks)
+    assert len(res.results) == app.nranks
+    assert all(r is not None for r in res.results)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_runs_are_deterministic(name):
+    app = make_app(name, "T")
+    a = run_app(app.main, app.nranks)
+    b = run_app(app.main, app.nranks)
+    assert a.results == b.results
+    assert a.steps == b.steps
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_golden_matches_itself(name):
+    app = make_app(name, "T")
+    res = run_app(app.main, app.nranks)
+    assert app.compare(res.results, res.results)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_compare_detects_gross_change(name):
+    app = make_app(name, "T")
+    res = run_app(app.main, app.nranks)
+    import copy
+
+    mutated = copy.deepcopy(res.results)
+
+    def bump(value):
+        if isinstance(value, dict):
+            k = sorted(value)[0]
+            value[k] = bump(value[k])
+            return value
+        if isinstance(value, (int, float)):
+            return value * 3 + 1e6
+        if isinstance(value, tuple):
+            return bump(list(value))
+        if isinstance(value, list) and value:
+            value[0] = bump(value[0])
+            return value
+        return value
+
+    mutated[0] = bump(mutated[0])
+    assert not app.compare(res.results, mutated)
+
+
+def test_npb_names_registered():
+    assert set(NPB_NAMES) <= set(APPLICATIONS)
+
+
+def test_unknown_app_raises():
+    with pytest.raises(KeyError):
+        make_app("hpl")
+
+
+def test_unknown_class_raises():
+    with pytest.raises(ValueError):
+        make_app("lu", "Z")
+
+
+def test_signatures_match_tolerance():
+    assert signatures_match({"x": 1.0}, {"x": 1.0 + 1e-12}, rtol=1e-9)
+    assert not signatures_match({"x": 1.0}, {"x": 1.1}, rtol=1e-9)
+    assert not signatures_match({"x": 1.0}, {"x": float("nan")}, rtol=1e-9)
+    assert not signatures_match({"x": 1.0}, {"y": 1.0}, rtol=1e-9)
+    assert signatures_match([1, "a", (2.0,)], [1, "a", (2.0,)], rtol=0)
+    assert not signatures_match([1, 2], [1], rtol=0)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_class_params_cover_all_classes(name):
+    cls = APPLICATIONS[name]
+    for klass in ("T", "S", "A"):
+        params = cls.class_params(klass)
+        assert params["nranks"] >= 2 or klass == "T"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_describe_mentions_name_and_ranks(name):
+    app = make_app(name, "T")
+    desc = app.describe()
+    assert name in desc
+    assert "nranks" in desc

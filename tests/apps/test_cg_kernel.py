@@ -1,0 +1,65 @@
+"""CG extension-kernel behavioural tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import CGKernel
+from repro.profiling import profile_application
+from repro.simmpi import AppError, run_app
+
+
+@pytest.fixture(scope="module")
+def app():
+    return CGKernel.from_problem_class("T")
+
+
+@pytest.fixture(scope="module")
+def results(app):
+    return run_app(app.main, app.nranks).results
+
+
+def test_converges(results):
+    assert results[0]["rnorm"] < 1e-6
+
+
+def test_solution_only_at_root(results):
+    assert results[0]["x_sum"] is not None
+    for r in results[1:]:
+        assert r["x_sum"] is None
+
+
+def test_rnorm_identical_across_ranks(results):
+    assert len({r["rnorm"] for r in results}) == 1
+
+
+def test_solution_solves_system(app, results):
+    """Independently verify A x = b from the gathered solution."""
+    p = app.params
+    n = p["n_per_rank"] * app.nranks
+    rng = np.random.default_rng(p["seed"])
+    base = rng.standard_normal((n, n)) / np.sqrt(n)
+    a = base @ base.T + p["shift"] * np.eye(n)
+    b = np.sin(np.arange(n) * 0.7) + 1.0
+    x = np.linalg.solve(a, b)
+    assert results[0]["x_sum"] == pytest.approx(float(x.sum()), rel=1e-6)
+
+
+def test_uses_extension_collectives(app):
+    profile = profile_application(app)
+    mix = profile.comm.collective_mix()
+    assert mix.get("Reduce_scatter", 0) > 0
+    assert mix.get("Gatherv", 0) > 0
+    assert mix["Allreduce"] > mix["Reduce_scatter"]
+
+
+def test_implausible_config_detected(app):
+    bad = CGKernel(app.nranks, **{**app.params, "iterations": 100_000})
+    with pytest.raises(AppError):
+        run_app(bad.main, bad.nranks)
+
+
+def test_cg_registered():
+    from repro.apps import APPLICATIONS, NPB_NAMES
+
+    assert "cg" in APPLICATIONS
+    assert "cg" not in NPB_NAMES  # extension workload, not a paper one

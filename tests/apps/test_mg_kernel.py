@@ -1,0 +1,49 @@
+"""MG kernel behavioural tests."""
+
+import pytest
+
+from repro.apps import MGKernel
+from repro.simmpi import AppError, run_app
+
+
+@pytest.fixture(scope="module")
+def results():
+    app = MGKernel.from_problem_class("T")
+    return app, run_app(app.main, app.nranks).results
+
+
+def test_converges_within_cycle_budget(results):
+    app, res = results
+    assert res[0]["cycles"] < app.params["max_cycles"]
+
+
+def test_final_norm_below_initial(results):
+    _, res = results
+    assert res[0]["final_norm"] < 1.0
+
+
+def test_all_ranks_agree_on_cycles_and_sum(results):
+    _, res = results
+    assert len({r["cycles"] for r in res}) == 1
+    assert len({round(r["solution_sum"], 9) for r in res}) == 1
+
+
+def test_solution_is_positive_bump(results):
+    """-u'' = sin(pi x) + noise has a positive bump solution; its sum
+    must be positive and finite."""
+    _, res = results
+    assert 0 < res[0]["solution_sum"] < 1e6
+
+
+def test_too_many_levels_detected():
+    app = MGKernel.from_problem_class("T")
+    bad = MGKernel(app.nranks, **{**app.params, "levels": 12})
+    with pytest.raises(AppError):
+        run_app(bad.main, bad.nranks)
+
+
+def test_works_on_non_power_of_two_ranks():
+    app = MGKernel.from_problem_class("T")
+    odd = MGKernel(3, **app.params)
+    res = run_app(odd.main, 3)
+    assert res.results[0]["cycles"] < app.params["max_cycles"]

@@ -1,0 +1,114 @@
+"""Mini-LAMMPS behavioural tests: physics and MPI usage profile."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MiniMD
+from repro.apps.lammps.domain import Domain
+from repro.apps.lammps.force import kinetic_energy, lj_forces
+from repro.apps.lammps.integrate import init_velocities
+from repro.profiling import profile_application
+from repro.simmpi import run_app
+
+
+@pytest.fixture(scope="module")
+def app():
+    return MiniMD.from_problem_class("T")
+
+
+@pytest.fixture(scope="module")
+def results(app):
+    return run_app(app.main, app.nranks).results
+
+
+def test_energy_is_negative_bound_state(results):
+    # A cold LJ lattice has negative total energy.
+    assert results[0]["energy"] < 0
+
+
+def test_energy_identical_across_ranks(results):
+    energies = {round(r["energy"], 9) for r in results}
+    assert len(energies) == 1
+
+
+def test_atom_count_conserved(app, results):
+    cx, cy, cz = app.params["cells"]
+    assert sum(r["natoms"] for r in results) == cx * cy * cz * app.nranks
+
+
+def test_temperature_reasonable(app, results):
+    t = results[0]["temperature"]
+    assert 0 < t < 3 * app.params["temperature"]
+
+
+def test_allreduce_dominates_collectives(app):
+    """The paper: >84 % of LAMMPS collectives are MPI_Allreduce."""
+    profile = profile_application(app)
+    mix = profile.comm.collective_mix()
+    total = sum(mix.values())
+    assert mix["Allreduce"] / total > 0.75
+
+
+def test_errhal_fraction_substantial(app):
+    """The paper: ~40 % of LAMMPS allreduces are error handling."""
+    from repro.ml.features import stack_is_errhal
+
+    profile = profile_application(app)
+    allreduce = [c for c in profile.comm.calls if c.name == "Allreduce"]
+    errhal = [c for c in allreduce if stack_is_errhal(c.stack)]
+    frac = len(errhal) / len(allreduce)
+    assert 0.2 < frac < 0.7
+
+
+# -- physics units ------------------------------------------------------
+
+
+def test_lj_force_is_zero_at_minimum():
+    pos = np.array([[0.0, 0.0, 0.0], [2 ** (1 / 6), 0.0, 0.0]])
+    forces, pe = lj_forces(pos, np.zeros((0, 3)), 2.5, 100.0, 100.0)
+    np.testing.assert_allclose(forces, 0.0, atol=1e-12)
+    assert pe == pytest.approx(-1.0)
+
+
+def test_lj_forces_newtons_third_law():
+    rng = np.random.default_rng(1)
+    pos = rng.random((10, 3)) * 3.0
+    forces, _ = lj_forces(pos, np.zeros((0, 3)), 2.5, 100.0, 100.0)
+    np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+
+def test_lj_repulsive_inside_minimum():
+    pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+    forces, pe = lj_forces(pos, np.zeros((0, 3)), 2.5, 100.0, 100.0)
+    assert forces[0, 0] < 0 < forces[1, 0]
+    assert pe == pytest.approx(0.0, abs=1e-12)
+
+
+def test_kinetic_energy():
+    vel = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+    assert kinetic_energy(vel) == pytest.approx(0.5 * (1 + 4))
+
+
+def test_init_velocities_zero_momentum():
+    v = init_velocities(np.random.default_rng(0), 50, 0.7)
+    np.testing.assert_allclose(v.mean(axis=0), 0.0, atol=1e-12)
+
+
+def test_domain_owner_offsets():
+    d = Domain(rank=1, nranks=4, slab_w=3.0, ly=6.0, lz=6.0)
+    x = np.array([4.0, 1.0, 7.0, 10.5])
+    np.testing.assert_array_equal(d.owner_offsets(x), [0, -1, 1, 2])
+
+
+def test_domain_wrap_periodic():
+    d = Domain(rank=0, nranks=2, slab_w=3.0, ly=6.0, lz=6.0)
+    pos = np.array([[-1.0, 7.0, 5.0]])
+    wrapped = d.wrap(pos)
+    np.testing.assert_allclose(wrapped, [[5.0, 1.0, 5.0]])
+
+
+def test_domain_face_masks():
+    d = Domain(rank=1, nranks=4, slab_w=3.0, ly=6.0, lz=6.0)
+    x = np.array([3.1, 4.5, 5.9])
+    np.testing.assert_array_equal(d.near_left(x, 0.5), [True, False, False])
+    np.testing.assert_array_equal(d.near_right(x, 0.5), [False, False, True])

@@ -1,0 +1,61 @@
+"""Shared fixtures for the FastFIT reproduction test suite.
+
+Campaign-level artefacts are expensive (each injection test is a full
+simulated job), so they are session-scoped and shared across test
+modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import make_app
+from repro.injection import Campaign, enumerate_points
+from repro.profiling import profile_application
+
+
+def run_rank0(gen_fn, nranks=1, **kwargs):
+    """Run a generator app function and return rank 0's result."""
+    from repro.simmpi import run_app
+
+    return run_app(gen_fn, nranks, **kwargs).results[0]
+
+
+@pytest.fixture(scope="session")
+def lu_app():
+    return make_app("lu", "T")
+
+
+@pytest.fixture(scope="session")
+def lu_profile(lu_app):
+    return profile_application(lu_app)
+
+
+@pytest.fixture(scope="session")
+def lammps_app():
+    return make_app("lammps", "T")
+
+
+@pytest.fixture(scope="session")
+def lammps_profile(lammps_app):
+    return profile_application(lammps_app)
+
+
+@pytest.fixture(scope="session")
+def lu_small_campaign(lu_app, lu_profile):
+    """A small but real campaign over the first few LU points."""
+    points = enumerate_points(lu_profile)[:8]
+    campaign = Campaign(lu_app, lu_profile, tests_per_point=12, param_policy="all", seed=7)
+    return campaign.run(points)
+
+
+@pytest.fixture(scope="session")
+def lammps_buffer_campaign(lammps_app, lammps_profile):
+    """Buffer-policy campaign over a slice of mini-LAMMPS points."""
+    points = enumerate_points(lammps_profile)
+    # A spread of collectives: take every 5th point, capped.
+    selected = points[::5][:10]
+    campaign = Campaign(
+        lammps_app, lammps_profile, tests_per_point=10, param_policy="buffer", seed=3
+    )
+    return campaign.run(selected)

@@ -1,0 +1,80 @@
+"""Bit-flip primitive tests (unit + hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.injection import flip_array_element, flip_int32, flip_int64, random_buffer_bit
+
+
+def test_flip_int32_basic():
+    assert flip_int32(0, 0) == 1
+    assert flip_int32(1, 0) == 0
+    assert flip_int32(0, 5) == 32
+
+
+def test_flip_int32_sign_bit_goes_negative():
+    assert flip_int32(0, 31) == -(2**31)
+    assert flip_int32(100, 31) < 0
+
+
+def test_flip_int32_rejects_out_of_range_bit():
+    with pytest.raises(ValueError):
+        flip_int32(0, 32)
+    with pytest.raises(ValueError):
+        flip_int32(0, -1)
+
+
+def test_flip_int64_high_bits():
+    v = flip_int64(0x7F4A_0000_0000, 44)
+    assert v != 0x7F4A_0000_0000
+    assert flip_int64(v, 44) == 0x7F4A_0000_0000
+
+
+def test_flip_int64_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        flip_int64(0, 64)
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.integers(min_value=-(2**31), max_value=2**31 - 1), bit=st.integers(0, 31))
+def test_flip_int32_is_involution(value, bit):
+    assert flip_int32(flip_int32(value, bit), bit) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2**63 - 1), bit=st.integers(0, 63))
+def test_flip_int64_is_involution(value, bit):
+    assert flip_int64(flip_int64(value, bit), bit) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.integers(min_value=-(2**31), max_value=2**31 - 1), bit=st.integers(0, 30))
+def test_flip_changes_value_by_power_of_two(value, bit):
+    assert abs(flip_int32(value, bit) - value) == 2**bit
+
+
+def test_flip_array_element():
+    arr = np.array([0, 10, 20], dtype=np.int64)
+    flip_array_element(arr, 1, 2)
+    assert list(arr) == [0, 14, 20]
+
+
+def test_random_buffer_bit_in_range():
+    rng = np.random.default_rng(0)
+    for _ in range(100):
+        byte, bit = random_buffer_bit(rng, 16)
+        assert 0 <= byte < 16
+        assert 0 <= bit < 8
+
+
+def test_random_buffer_bit_rejects_empty():
+    with pytest.raises(ValueError):
+        random_buffer_bit(np.random.default_rng(0), 0)
+
+
+def test_random_buffer_bit_covers_all_bytes():
+    rng = np.random.default_rng(1)
+    seen = {random_buffer_bit(rng, 4)[0] for _ in range(200)}
+    assert seen == {0, 1, 2, 3}

@@ -1,0 +1,141 @@
+"""Point-to-point fault-injection extension tests (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.injection import Outcome
+from repro.injection.p2p import (
+    P2PFaultInjector,
+    P2PFaultSpec,
+    P2PInjectionPoint,
+    P2PProfiler,
+    enumerate_p2p_points,
+    p2p_campaign,
+    profile_p2p,
+)
+from repro.simmpi import run_app
+
+
+def ring_app(ctx):
+    s = ctx.alloc(4, ctx.DOUBLE)
+    r = ctx.alloc(4, ctx.DOUBLE)
+    s.view[:] = ctx.rank
+    dst = (ctx.rank + 1) % ctx.size
+    src = (ctx.rank - 1) % ctx.size
+    yield from ctx.Send(s.addr, 4, ctx.DOUBLE, dst, 7, ctx.WORLD)
+    yield from ctx.Recv(r.addr, 4, ctx.DOUBLE, src, 7, ctx.WORLD)
+    return list(r.view)
+
+
+class TestP2PProfiler:
+    def test_records_sites_and_stacks(self):
+        prof = P2PProfiler()
+        run_app(ring_app, 3, instruments=[prof])
+        kinds = {c.kind for c in prof.calls}
+        assert kinds == {"Send", "Recv"}
+        assert all(c.site.startswith("test_p2p_extension.py:") for c in prof.calls)
+        assert all(c.stack[-1].startswith("ring_app@") for c in prof.calls)
+
+    def test_enumeration(self):
+        prof = P2PProfiler()
+        run_app(ring_app, 3, instruments=[prof])
+        points = enumerate_p2p_points(prof.calls)
+        # One send + one recv per rank.
+        assert len(points) == 6
+        assert len({p.rank for p in points}) == 3
+
+    def test_no_instrument_no_overhead_path(self):
+        """Without a p2p-interested instrument the fast path is taken
+        and results are identical."""
+        a = run_app(ring_app, 3)
+        b = run_app(ring_app, 3, instruments=[P2PProfiler()])
+        assert a.results == b.results
+
+
+class TestP2PInjector:
+    def _point(self, kind):
+        prof = P2PProfiler()
+        run_app(ring_app, 2, instruments=[prof])
+        call = next(c for c in prof.calls if c.kind == kind and c.rank == 0)
+        return P2PInjectionPoint(0, call.kind, call.site, call.invocation)
+
+    def test_buffer_flip_corrupts_message(self):
+        point = self._point("Send")
+        injector = P2PFaultInjector(
+            P2PFaultSpec(point, "buf", 0), np.random.default_rng(0)
+        )
+        res = run_app(ring_app, 2, instruments=[injector])
+        assert injector.fired
+        assert res.results[1] != [0.0] * 4
+
+    def test_tag_flip_deadlocks(self):
+        from repro.simmpi import DeadlockError
+
+        point = self._point("Send")
+        injector = P2PFaultInjector(
+            P2PFaultSpec(point, "tag", 3), np.random.default_rng(0)
+        )
+        with pytest.raises(DeadlockError):
+            run_app(ring_app, 2, instruments=[injector], step_budget=50_000)
+
+    def test_dest_flip_misroutes_or_errors(self):
+        from repro.simmpi import DeadlockError, MPIError
+
+        point = self._point("Send")
+        injector = P2PFaultInjector(
+            P2PFaultSpec(point, "dest", 1), np.random.default_rng(0)
+        )
+        # dest 1 ^ 2 = 3 -> out of range for 2 ranks -> MPI_ERR_RANK
+        with pytest.raises((MPIError, DeadlockError)):
+            run_app(ring_app, 2, instruments=[injector], step_budget=50_000)
+
+    def test_datatype_flip_usually_segfaults(self):
+        from repro.simmpi import SegmentationFault
+
+        point = self._point("Send")
+        injector = P2PFaultInjector(
+            P2PFaultSpec(point, "datatype", 45), np.random.default_rng(0)
+        )
+        with pytest.raises(SegmentationFault):
+            run_app(ring_app, 2, instruments=[injector])
+
+    def test_fires_once(self):
+        point = self._point("Recv")
+        injector = P2PFaultInjector(
+            P2PFaultSpec(point, "buf", 0), np.random.default_rng(0)
+        )
+        run_app(ring_app, 2, instruments=[injector])
+        assert injector.fired
+
+
+class TestP2PCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        app = make_app("mg", "T")
+        calls, golden, steps = profile_p2p(app)
+        points = enumerate_p2p_points(calls)[:4]
+        return p2p_campaign(
+            app, points, tests_per_point=8, seed=1, golden=golden, golden_steps=steps
+        )
+
+    def test_all_tests_classified(self, campaign):
+        hist = campaign.outcome_histogram()
+        assert sum(hist.values()) == 32
+        assert all(o in hist for o in Outcome)
+
+    def test_by_param_partition(self, campaign):
+        per_param = campaign.by_param()
+        assert sum(sum(h.values()) for h in per_param.values()) == 32
+
+    def test_error_rate_bounds(self, campaign):
+        assert 0.0 <= campaign.error_rate <= 1.0
+
+    def test_campaign_reproducible(self):
+        app = make_app("mg", "T")
+        calls, golden, steps = profile_p2p(app)
+        points = enumerate_p2p_points(calls)[:2]
+        kw = dict(tests_per_point=4, seed=9, golden=golden, golden_steps=steps)
+        a = p2p_campaign(app, points, **kw)
+        b = p2p_campaign(app, points, **kw)
+        assert [o for _, o in a.tests] == [o for _, o in b.tests]

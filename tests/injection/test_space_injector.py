@@ -1,0 +1,167 @@
+"""Injection-point enumeration and fault-injector tests."""
+
+import numpy as np
+import pytest
+
+from repro.injection import (
+    FaultInjector,
+    FaultSpec,
+    InjectionPoint,
+    buffer_extent_bytes,
+    enumerate_points,
+    points_per_site,
+)
+from repro.simmpi import CollectiveCall, Instrument, run_app
+
+
+class TestSpace:
+    def test_enumeration_counts(self, lu_profile):
+        points = enumerate_points(lu_profile)
+        assert len(points) == lu_profile.total_injection_points()
+
+    def test_points_are_unique_and_sorted_stable(self, lu_profile):
+        points = enumerate_points(lu_profile)
+        assert len(set(points)) == len(points)
+        assert points == sorted(points)
+
+    def test_points_cover_all_ranks(self, lu_profile):
+        ranks = {p.rank for p in enumerate_points(lu_profile)}
+        assert ranks == set(range(lu_profile.nranks))
+
+    def test_points_per_site(self, lu_profile):
+        points = enumerate_points(lu_profile)
+        by_site = points_per_site(points)
+        assert sum(len(v) for v in by_site.values()) == len(points)
+
+    def test_point_str(self):
+        p = InjectionPoint(3, "Allreduce", "x.py:10", 2)
+        assert "Allreduce" in str(p) and "rank3" in str(p)
+
+
+def _first_call_point(app_fn, nranks, name):
+    """Profile a quick app and return its first `name` point."""
+    from repro.profiling import CommProfiler
+
+    prof = CommProfiler()
+    run_app(app_fn, nranks, instruments=[prof])
+    call = next(c for c in prof.profile.calls if c.name == name and c.rank == 0)
+    return InjectionPoint(0, call.name, call.site, call.invocation)
+
+
+def bcast_app(ctx):
+    b = ctx.alloc(8, ctx.DOUBLE)
+    if ctx.rank == 0:
+        b.view[:] = 1.0
+    yield from ctx.Bcast(b.addr, 8, ctx.DOUBLE, 0, ctx.WORLD)
+    return list(b.view)
+
+
+class TestInjector:
+    def test_buffer_flip_changes_payload(self):
+        point = _first_call_point(bcast_app, 2, "Bcast")
+        spec = FaultSpec(point, "buffer", 3)  # flip bit 3 of byte 0
+        injector = FaultInjector(spec, np.random.default_rng(0))
+        res = run_app(bcast_app, 2, instruments=[injector])
+        assert injector.fired
+        assert injector.record.param == "buffer"
+        assert res.results[1] != [1.0] * 8  # corrupted value broadcast
+
+
+    def test_injector_fires_once(self):
+        def app(ctx):
+            b = ctx.alloc(2, ctx.DOUBLE)
+            for _ in range(3):
+                yield from ctx.Bcast(b.addr, 2, ctx.DOUBLE, 0, ctx.WORLD)
+            return 0
+
+        point = _first_call_point(app, 2, "Bcast")
+        spec = FaultSpec(point, "buffer", 0)
+        injector = FaultInjector(spec, np.random.default_rng(0))
+        run_app(app, 2, instruments=[injector])
+        assert injector.fired
+
+    def test_injector_respects_rank(self):
+        point = InjectionPoint(1, "Bcast", "nonexistent.py:1", 0)
+        injector = FaultInjector(FaultSpec(point, "buffer", 0), np.random.default_rng(0))
+        run_app(bcast_app, 2, instruments=[injector])
+        assert not injector.fired
+
+    def test_scalar_flip_mutates_count(self):
+        point = _first_call_point(bcast_app, 2, "Bcast")
+        seen = {}
+
+        class Spy(Instrument):
+            def on_collective(self, ctx, call: CollectiveCall):
+                seen.setdefault(call.rank, call.args["count"])
+
+        injector = FaultInjector(FaultSpec(point, "count", 1), np.random.default_rng(0))
+        # count 8 ^ 2 = 10 on rank 0 -> root reads more than allocated ->
+        # heap read within arena (benign) or truncate on receiver.
+        from repro.simmpi import MPIError
+
+        with pytest.raises(MPIError):
+            run_app(bcast_app, 2, instruments=[injector, Spy()])
+        assert injector.record.bit == 1
+
+    def test_handle_flip_uses_64_bits(self):
+        point = _first_call_point(bcast_app, 2, "Bcast")
+        injector = FaultInjector(FaultSpec(point, "datatype", 50), np.random.default_rng(0))
+        from repro.simmpi import SegmentationFault
+
+        with pytest.raises(SegmentationFault):
+            run_app(bcast_app, 2, instruments=[injector])
+        assert injector.record.kind == "handle"
+
+
+class TestBufferExtent:
+    @pytest.fixture()
+    def capture(self):
+        calls = {}
+
+        class Grab(Instrument):
+            def __init__(self, name):
+                self.name = name
+
+            def on_collective(self, ctx, call):
+                if call.name == self.name and call.rank == 0:
+                    calls.setdefault("ctx", ctx)
+                    calls.setdefault("call", call)
+
+        return calls, Grab
+
+    def test_allreduce_extent(self, capture):
+        calls, Grab = capture
+
+        def app(ctx):
+            s = ctx.alloc(10, ctx.DOUBLE)
+            r = ctx.alloc(10, ctx.DOUBLE)
+            yield from ctx.Allreduce(s.addr, r.addr, 10, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+
+        run_app(app, 2, instruments=[Grab("Allreduce")])
+        assert buffer_extent_bytes(calls["ctx"], calls["call"], "sendbuf") == 80
+
+    def test_allgather_recv_extent_scales_with_size(self, capture):
+        calls, Grab = capture
+
+        def app(ctx):
+            s = ctx.alloc(4, ctx.INT)
+            r = ctx.alloc(4 * ctx.size, ctx.INT)
+            yield from ctx.Allgather(s.addr, 4, r.addr, 4, ctx.INT, ctx.WORLD)
+
+        run_app(app, 4, instruments=[Grab("Allgather")])
+        assert buffer_extent_bytes(calls["ctx"], calls["call"], "sendbuf") == 16
+        assert buffer_extent_bytes(calls["ctx"], calls["call"], "recvbuf") == 64
+
+    def test_alltoallv_extent_from_displs(self, capture):
+        calls, Grab = capture
+
+        def app(ctx):
+            n = ctx.size
+            s = ctx.alloc(2 * n, ctx.INT)
+            r = ctx.alloc(2 * n, ctx.INT)
+            counts = np.full(n, 2, dtype=np.int64)
+            displs = np.arange(n, dtype=np.int64) * 2
+            yield from ctx.Alltoallv(s.addr, counts, displs, r.addr, counts, displs, ctx.INT, ctx.WORLD)
+
+        run_app(app, 3, instruments=[Grab("Alltoallv")])
+        assert buffer_extent_bytes(calls["ctx"], calls["call"], "sendbuf") == (4 + 2) * 4

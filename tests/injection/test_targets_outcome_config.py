@@ -1,0 +1,138 @@
+"""Targets, outcome taxonomy, and Table II configuration tests."""
+
+import numpy as np
+import pytest
+
+from repro.injection import (
+    ConfigError,
+    InjectionConfig,
+    Outcome,
+    OUTCOME_ORDER,
+    all_targets,
+    buffer_targets,
+    classify_exception,
+    param_kind,
+    pick_target,
+    targets_for_policy,
+)
+from repro.simmpi import (
+    AppError,
+    DeadlockError,
+    FiberCrashed,
+    MPIError,
+    SegmentationFault,
+    StepBudgetExceeded,
+)
+
+
+class TestTargets:
+    def test_buffer_targets(self):
+        assert buffer_targets("Allreduce") == ("sendbuf", "recvbuf")
+        assert buffer_targets("Bcast") == ("buffer",)
+        assert buffer_targets("Barrier") == ()
+
+    def test_policy_buffer_falls_back_for_barrier(self):
+        assert targets_for_policy("Barrier", "buffer") == ("comm",)
+
+    def test_policy_all(self):
+        assert targets_for_policy("Reduce", "all") == all_targets("Reduce")
+        assert "op" in all_targets("Reduce")
+
+    def test_policy_specific_param(self):
+        assert targets_for_policy("Allreduce", "count") == ("count",)
+
+    def test_policy_invalid_param(self):
+        with pytest.raises(ValueError):
+            targets_for_policy("Barrier", "count")
+
+    def test_pick_target_deterministic_per_seed(self):
+        a = pick_target(np.random.default_rng(5), "Allreduce", "all")
+        b = pick_target(np.random.default_rng(5), "Allreduce", "all")
+        assert a == b
+
+    def test_param_kind(self):
+        assert param_kind("sendbuf") == "buffer"
+        assert param_kind("count") == "scalar"
+        assert param_kind("op") == "handle"
+        assert param_kind("sendcounts") == "vector"
+        with pytest.raises(ValueError):
+            param_kind("bogus")
+
+
+class TestOutcome:
+    def test_six_types(self):
+        assert len(OUTCOME_ORDER) == 6
+        assert [o.value for o in OUTCOME_ORDER] == [
+            "SUCCESS",
+            "APP_DETECTED",
+            "MPI_ERR",
+            "SEG_FAULT",
+            "WRONG_ANS",
+            "INF_LOOP",
+        ]
+
+    def test_is_error(self):
+        assert not Outcome.SUCCESS.is_error
+        assert all(o.is_error for o in OUTCOME_ORDER if o is not Outcome.SUCCESS)
+
+    @pytest.mark.parametrize(
+        "exc,expected",
+        [
+            (AppError("x"), Outcome.APP_DETECTED),
+            (MPIError("MPI_ERR_COUNT"), Outcome.MPI_ERR),
+            (SegmentationFault(0, 1), Outcome.SEG_FAULT),
+            (DeadlockError(), Outcome.INF_LOOP),
+            (StepBudgetExceeded(10), Outcome.INF_LOOP),
+            (FiberCrashed(0, ValueError("x")), Outcome.SEG_FAULT),
+        ],
+    )
+    def test_classification(self, exc, expected):
+        assert classify_exception(exc) is expected
+
+    def test_unclassifiable_raises(self):
+        with pytest.raises(TypeError):
+            classify_exception(KeyError("nope"))
+
+
+class TestInjectionConfig:
+    def test_defaults(self):
+        cfg = InjectionConfig()
+        assert cfg.num_inj == 1 and cfg.param_id == 0
+
+    def test_from_env(self):
+        env = {
+            "FASTFIT_NUM_INJ": "100",
+            "FASTFIT_INV_ID": "012",
+            "FASTFIT_CALL_ID": "3",
+            "FASTFIT_RANK_ID": "31",
+            "FASTFIT_PARAM_ID": "2",
+        }
+        cfg = InjectionConfig.from_env(env)
+        assert (cfg.num_inj, cfg.inv_id, cfg.call_id, cfg.rank_id, cfg.param_id) == (
+            100,
+            12,
+            3,
+            31,
+            2,
+        )
+
+    def test_width_limits(self):
+        with pytest.raises(ConfigError):
+            InjectionConfig.from_env({"FASTFIT_INV_ID": "1234"})  # width 3
+        with pytest.raises(ConfigError):
+            InjectionConfig.from_env({"FASTFIT_PARAM_ID": "12"})  # width 1
+        # RANK_ID and NUM_INJ are unlimited.
+        cfg = InjectionConfig.from_env({"FASTFIT_RANK_ID": "123456789"})
+        assert cfg.rank_id == 123456789
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ConfigError):
+            InjectionConfig.from_env({"FASTFIT_NUM_INJ": "lots"})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            InjectionConfig(inv_id=-1)
+
+    def test_roundtrip_env(self):
+        cfg = InjectionConfig(num_inj=7, inv_id=2, call_id=1, rank_id=30, param_id=4)
+        assert InjectionConfig.from_env(cfg.to_env()) == cfg

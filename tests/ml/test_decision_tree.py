@@ -1,0 +1,114 @@
+"""Decision-tree tests (unit + hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import DecisionTreeClassifier, gini
+
+
+class TestGini:
+    def test_pure_is_zero(self):
+        assert gini(np.array([10.0, 0.0])) == 0.0
+
+    def test_uniform_binary_is_half(self):
+        assert gini(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert gini(np.array([0.0, 0.0])) == 0.0
+
+
+class TestDecisionTree:
+    def test_learns_threshold_rule(self):
+        X = np.array([[x] for x in range(20)], dtype=float)
+        y = (X[:, 0] >= 10).astype(int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert list(tree.predict(X)) == list(y)
+        assert tree.root.feature == 0
+        assert 9 <= tree.root.threshold <= 10
+
+    def test_learns_xor_with_depth(self):
+        X = np.array([[a, b] for a in (0, 1) for b in (0, 1)] * 5, dtype=float)
+        y = np.array([int(a != b) for a, b in X.astype(int)])
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+    def test_max_depth_zero_is_majority_class(self):
+        X = np.random.default_rng(0).random((30, 3))
+        y = np.array([0] * 20 + [1] * 10)
+        tree = DecisionTreeClassifier(max_depth=0).fit(X, y)
+        assert set(tree.predict(X)) == {0}
+
+    def test_min_samples_leaf(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 0, 1])
+        tree = DecisionTreeClassifier(min_samples_leaf=2).fit(X, y)
+        # The lone positive cannot get its own leaf.
+        def leaves(node):
+            if node.is_leaf:
+                return [node]
+            return leaves(node.left) + leaves(node.right)
+
+        assert all(leaf.n_samples >= 2 for leaf in leaves(tree.root))
+
+    def test_predict_proba_rows_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((40, 4))
+        y = rng.integers(0, 3, size=40)
+        tree = DecisionTreeClassifier().fit(X, y)
+        proba = tree.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_importances_focus_on_signal(self):
+        rng = np.random.default_rng(5)
+        X = rng.random((100, 3))
+        y = (X[:, 1] > 0.5).astype(int)  # only feature 1 matters
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.feature_importances_[1] > 0.8
+
+    def test_render_contains_features_and_classes(self):
+        X = np.array([[x] for x in range(10)], dtype=float)
+        y = (X[:, 0] >= 5).astype(int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        text = tree.render(["nInv"], ["low", "high"])
+        assert "nInv" in text and "low" in text and "high" in text
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=60),
+    d=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_tree_fits_training_data_when_unconstrained(n, d, seed):
+    """With unlimited depth and distinct rows, training accuracy is 1."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    y = rng.integers(0, 3, size=n)
+    tree = DecisionTreeClassifier(max_depth=64).fit(X, y)
+    # Rows are almost surely distinct in float space.
+    assert (tree.predict(X) == y).mean() == pytest.approx(1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_predictions_are_valid_classes(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.random((30, 3))
+    y = rng.integers(0, 4, size=30)
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    preds = tree.predict(rng.random((10, 3)))
+    assert set(preds) <= set(range(4))

@@ -1,0 +1,110 @@
+"""Metrics, model-selection protocol, and Eq. 1 correlation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    RandomForestClassifier,
+    TABLE4_FEATURES,
+    accuracy,
+    confusion_matrix,
+    correlation_table,
+    eq1_correlation,
+    evaluate_model,
+    per_class_accuracy,
+    train_test_split,
+)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([0, 1, 1], [0, 1, 0]) == pytest.approx(2 / 3)
+        assert accuracy([], []) == 0.0
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2], 3)
+        assert cm[0, 0] == 1 and cm[0, 1] == 1 and cm[1, 1] == 1 and cm[2, 2] == 1
+
+    def test_per_class_accuracy_with_missing_class(self):
+        pca = per_class_accuracy([0, 0, 1], [0, 1, 1], 3)
+        assert pca[0] == pytest.approx(0.5)
+        assert pca[1] == pytest.approx(1.0)
+        assert np.isnan(pca[2])
+
+
+class TestSplit:
+    def test_split_partitions(self):
+        rng = np.random.default_rng(0)
+        train, test = train_test_split(rng, 20, 0.5)
+        assert len(train) + len(test) == 20
+        assert set(train) & set(test) == set()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.random.default_rng(0), 10, 1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=200), frac=st.floats(0.1, 0.9))
+    def test_split_sizes(self, n, frac):
+        train, test = train_test_split(np.random.default_rng(1), n, frac)
+        assert len(test) == max(1, int(round(n * frac)))
+
+
+class TestEvaluate:
+    def test_repeated_evaluation_on_learnable_data(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((120, 3))
+        y = (X[:, 0] > 0.5).astype(int)
+        result = evaluate_model(
+            lambda rep: RandomForestClassifier(n_estimators=8, seed=rep),
+            X,
+            y,
+            ("neg", "pos"),
+            repeats=5,
+        )
+        assert result.repeats == 5
+        assert result.overall_accuracy > 0.85
+        assert result.as_dict()["pos"] > 0.8
+
+
+class TestEq1:
+    def test_perfect_positive_is_one(self):
+        x = np.arange(10.0)
+        assert eq1_correlation(x, 2 * x + 3) == pytest.approx(1.0)
+
+    def test_perfect_negative_is_zero(self):
+        x = np.arange(10.0)
+        assert eq1_correlation(x, -x) == pytest.approx(0.0)
+
+    def test_constant_is_neutral(self):
+        assert eq1_correlation(np.ones(5), np.arange(5.0)) == 0.5
+
+    def test_short_series_neutral(self):
+        assert eq1_correlation(np.array([1.0]), np.array([2.0])) == 0.5
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_always_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.random(20), rng.random(20)
+        assert 0.0 <= eq1_correlation(x, y) <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random(15), rng.random(15)
+        assert eq1_correlation(x, y) == pytest.approx(eq1_correlation(y, x))
+
+
+class TestTable4:
+    def test_correlation_table_structure(self, lu_profile, lu_small_campaign):
+        table = correlation_table(lu_profile, lu_small_campaign)
+        assert tuple(table) == TABLE4_FEATURES
+        assert all(0.0 <= v <= 1.0 for v in table.values())
+
+    def test_errhdl_and_non_errhdl_mirror(self, lammps_profile, lammps_buffer_campaign):
+        """ErrHdl and Non-ErrHdl are complementary indicators, so their
+        Eq. 1 correlations mirror around 0.5."""
+        table = correlation_table(lammps_profile, lammps_buffer_campaign)
+        assert table["ErrHdl"] + table["Non-ErrHdl"] == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,75 @@
+"""Random-forest tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(11)
+    centres = np.array([[0.0, 0.0], [4.0, 4.0], [0.0, 4.0]])
+    X = np.vstack([c + rng.normal(0, 0.5, size=(40, 2)) for c in centres])
+    y = np.repeat(np.arange(3), 40)
+    return X, y
+
+
+def test_forest_fits_separable_blobs(blobs):
+    X, y = blobs
+    rf = RandomForestClassifier(n_estimators=15, seed=0).fit(X, y)
+    assert (rf.predict(X) == y).mean() > 0.95
+
+
+def test_forest_deterministic_given_seed(blobs):
+    X, y = blobs
+    a = RandomForestClassifier(n_estimators=8, seed=5).fit(X, y).predict(X)
+    b = RandomForestClassifier(n_estimators=8, seed=5).fit(X, y).predict(X)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_seeds_differ_internally(blobs):
+    X, y = blobs
+    a = RandomForestClassifier(n_estimators=4, seed=1).fit(X, y)
+    b = RandomForestClassifier(n_estimators=4, seed=2).fit(X, y)
+    # Structures differ even if predictions often coincide.
+    ra = a.trees[0].render(["f0", "f1"], ["a", "b", "c"])
+    rb = b.trees[0].render(["f0", "f1"], ["a", "b", "c"])
+    assert ra != rb
+
+
+def test_predict_proba_shape_and_normalisation(blobs):
+    X, y = blobs
+    rf = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+    proba = rf.predict_proba(X[:7])
+    assert proba.shape == (7, 3)
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)
+
+
+def test_majority_vote_matches_argmax_votes(blobs):
+    X, y = blobs
+    rf = RandomForestClassifier(n_estimators=9, seed=3).fit(X, y)
+    preds = rf.predict(X[:20])
+    assert set(preds) <= {0, 1, 2}
+
+
+def test_feature_importances_average(blobs):
+    X, y = blobs
+    rf = RandomForestClassifier(n_estimators=6, seed=0).fit(X, y)
+    imp = rf.feature_importances_
+    assert imp.shape == (2,)
+    assert imp.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_single_class_degenerates_gracefully():
+    X = np.random.default_rng(0).random((20, 3))
+    y = np.zeros(20, dtype=int)
+    rf = RandomForestClassifier(n_estimators=5, seed=0).fit(X, y)
+    assert set(rf.predict(X)) == {0}
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        RandomForestClassifier().predict(np.zeros((1, 2)))
+    with pytest.raises(RuntimeError):
+        RandomForestClassifier().predict_proba(np.zeros((1, 2)))

@@ -1,0 +1,96 @@
+"""ML-driven injection loop tests (§ III-C)."""
+
+import pytest
+
+from repro.injection import OUTCOME_ORDER
+from repro.pruning import level_labeler, ml_driven_campaign, outcome_labeler
+from repro.pruning.semantic import select_semantic
+from repro.pruning.context import select_context
+
+
+@pytest.fixture(scope="module")
+def lu_points(lu_profile):
+    sem = select_semantic(lu_profile)
+    ctx = select_context(lu_profile, sem.selected_points_list)
+    return ctx.selected_points_list
+
+
+@pytest.fixture(scope="module")
+def ml_result(lu_app, lu_profile, lu_points):
+    return ml_driven_campaign(
+        lu_app,
+        lu_profile,
+        lu_points,
+        threshold=0.5,
+        tests_per_point=8,
+        batch_size=4,
+        param_policy="all",
+        seed=0,
+    )
+
+
+def test_every_point_tested_or_predicted(ml_result, lu_points):
+    assert ml_result.total_points == len(lu_points)
+    tested = set(ml_result.tested)
+    predicted = set(ml_result.predicted)
+    assert tested | predicted == set(lu_points)
+    assert tested & predicted == set()
+
+
+def test_reduction_in_unit_interval(ml_result):
+    assert 0.0 <= ml_result.test_reduction < 1.0
+
+
+def test_model_trained(ml_result):
+    assert ml_result.model is not None
+    assert ml_result.model.trees
+
+
+def test_accuracy_history_recorded(ml_result):
+    if ml_result.reached_threshold:
+        assert ml_result.accuracy_history[-1] >= ml_result.threshold
+
+
+def test_predicted_labels_valid(ml_result):
+    n_labels = len(ml_result.label_names)
+    assert all(0 <= v < n_labels for v in ml_result.predicted.values())
+
+
+def test_threshold_one_tests_everything(lu_app, lu_profile, lu_points):
+    """An unreachable threshold degenerates to the traditional
+    campaign: every point is tested, none predicted."""
+    result = ml_driven_campaign(
+        lu_app,
+        lu_profile,
+        lu_points[:8],
+        threshold=1.01,
+        tests_per_point=4,
+        batch_size=4,
+        param_policy="all",
+        seed=0,
+    )
+    assert len(result.predicted) == 0
+    assert len(result.tested) == 8
+    assert not result.reached_threshold
+
+
+def test_labelers():
+    lab, names = level_labeler()
+    assert names == ("low", "medium-low", "medium-high", "high")
+    lab2, names2 = outcome_labeler()
+    assert names2 == tuple(o.value for o in OUTCOME_ORDER)
+
+
+def test_custom_labeler_requires_names(lu_app, lu_profile, lu_points):
+    with pytest.raises(ValueError):
+        ml_driven_campaign(
+            lu_app, lu_profile, lu_points, labeler=lambda pr: 0, label_names=None
+        )
+
+
+def test_deterministic_given_seed(lu_app, lu_profile, lu_points):
+    kw = dict(threshold=0.5, tests_per_point=4, batch_size=4, param_policy="all", seed=11)
+    a = ml_driven_campaign(lu_app, lu_profile, lu_points[:8], **kw)
+    b = ml_driven_campaign(lu_app, lu_profile, lu_points[:8], **kw)
+    assert a.predicted == b.predicted
+    assert a.accuracy_history == b.accuracy_history

@@ -1,0 +1,51 @@
+"""Pruning behaviour at the paper's 32-rank scale.
+
+Pruning is pure profiling (no injection), so running it at class S is
+cheap — these tests pin the Table III regime: semantic reduction ≥ 90 %
+at 32 ranks, totals ≥ 95 %.
+"""
+
+import pytest
+
+from repro import FastFIT
+from repro.apps import make_app
+from repro.pruning import equivalence_classes
+
+
+@pytest.mark.parametrize("name", ["ft", "lammps"])
+def test_semantic_reduction_at_32_ranks(name):
+    ff = FastFIT(make_app(name, "S"))
+    pr = ff.prune()
+    assert pr.semantic_reduction >= 0.9
+    assert pr.combined_reduction >= 0.95
+
+
+def test_lu_semantic_reduction_at_32_ranks():
+    # LU's pipeline ends keep 3 equivalence classes -> slightly lower.
+    ff = FastFIT(make_app("lu", "S"))
+    pr = ff.prune()
+    assert pr.semantic_reduction >= 0.85
+
+
+def test_equivalence_classes_scale_sublinearly():
+    """The number of equivalence classes does not grow with rank count
+    for SPMD codes — the property that makes semantic pruning scale."""
+    from repro.profiling import profile_application
+
+    small = len(equivalence_classes(profile_application(make_app("ft", "T"))))
+    large = len(equivalence_classes(profile_application(make_app("ft", "S"))))
+    assert large <= small + 1
+
+
+def test_representative_points_cover_every_site():
+    ff = FastFIT(make_app("lammps", "S"))
+    pr = ff.prune()
+    rep_sites = {p.site_key for p in pr.representative_points}
+    all_sites = {key for (_, key) in ff.profile().summaries}
+    assert rep_sites == all_sites
+
+
+def test_pruned_set_much_smaller_than_space():
+    ff = FastFIT(make_app("mg", "S"))
+    pr = ff.prune()
+    assert len(pr.representative_points) < pr.total_points * 0.05

@@ -1,0 +1,122 @@
+"""Semantic- and context-driven pruning tests (§ III-A, § III-B)."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.injection import enumerate_points
+from repro.profiling import profile_application
+from repro.pruning import (
+    equivalence_classes,
+    rank_signature,
+    representative_of,
+    select_context,
+    select_semantic,
+)
+from repro.simmpi import ROOTED_COLLECTIVES
+
+
+class TestEquivalence:
+    def test_lu_pipeline_classes(self, lu_profile):
+        """LU's wavefront makes the first and last rank special; the
+        interior ranks are mutually equivalent."""
+        classes = equivalence_classes(lu_profile)
+        nranks = lu_profile.nranks
+        by_rank = {r: representative_of(classes, r) for r in range(nranks)}
+        assert by_rank[0] == 0
+        assert by_rank[nranks - 1] == nranks - 1
+        interior = {by_rank[r] for r in range(1, nranks - 1)}
+        assert len(interior) == 1
+
+    def test_signatures_stable(self, lu_profile):
+        assert rank_signature(lu_profile, 1) == rank_signature(lu_profile, 1)
+
+    def test_unknown_rank_raises(self, lu_profile):
+        with pytest.raises(KeyError):
+            representative_of(equivalence_classes(lu_profile), 999)
+
+    def test_symmetric_app_collapses_to_one_class(self):
+        """FT is fully symmetric (same alltoall everywhere) except for
+        the root's checksum bookkeeping — non-root ranks collapse."""
+        app = make_app("ft", "T")
+        profile = profile_application(app)
+        classes = equivalence_classes(profile)
+        assert len(classes) <= 2
+
+
+class TestSemantic:
+    def test_reduction_bounds(self, lu_profile):
+        sel = select_semantic(lu_profile)
+        assert 0.0 <= sel.reduction < 1.0
+        assert sel.selected_points == len(sel.selected_points_list)
+        assert sel.total_points == len(enumerate_points(lu_profile))
+
+    def test_rooted_sites_keep_root_and_one_nonroot(self, lammps_profile):
+        sel = select_semantic(lammps_profile)
+        for site_key, ranks in sel.selected_ranks.items():
+            name = site_key[0]
+            if name in ROOTED_COLLECTIVES:
+                summaries = [
+                    s
+                    for (r, k), s in lammps_profile.summaries.items()
+                    if k == site_key
+                ]
+                roots = {s.root_world for s in summaries if s.root_world is not None}
+                assert roots <= set(ranks)
+                assert len(ranks) >= min(2, lammps_profile.nranks)
+
+    def test_nonrooted_selects_class_representatives(self, lammps_profile):
+        sel = select_semantic(lammps_profile)
+        reps = {members[0] for members in sel.classes}
+        for site_key, ranks in sel.selected_ranks.items():
+            if site_key[0] not in ROOTED_COLLECTIVES:
+                assert set(ranks) <= reps
+
+    def test_selected_points_subset_of_space(self, lu_profile):
+        sel = select_semantic(lu_profile)
+        space = set(enumerate_points(lu_profile))
+        assert set(sel.selected_points_list) <= space
+
+    def test_reduction_grows_with_ranks(self):
+        """More ranks, same structure → more pruning (Table III is run
+        at 32 ranks, where reduction reaches ~96 %)."""
+        small = select_semantic(profile_application(make_app("ft", "T")))
+        assert small.reduction > 0.0
+
+
+class TestContext:
+    def test_representatives_cover_all_points(self, lu_profile):
+        sel_sem = select_semantic(lu_profile)
+        sel = select_context(lu_profile, sel_sem.selected_points_list)
+        covered = {p for rep in sel.representatives.values() for p in rep}
+        assert covered == set(sel_sem.selected_points_list)
+
+    def test_representative_is_first_invocation_of_its_stack(self, lu_profile):
+        sel_sem = select_semantic(lu_profile)
+        sel = select_context(lu_profile, sel_sem.selected_points_list)
+        for rep, members in sel.representatives.items():
+            assert rep == min(members)
+            assert rep.invocation == min(m.invocation for m in members)
+
+    def test_same_stack_grouped(self, lammps_profile):
+        """Mini-LAMMPS thermo allreduce runs every step with the same
+        stack: many invocations collapse to few representatives."""
+        points = enumerate_points(lammps_profile)
+        thermo = [
+            p
+            for p in points
+            if p.collective == "Allreduce" and p.rank == 0
+        ]
+        sel = select_context(lammps_profile, thermo)
+        assert sel.selected_points < len(thermo)
+        assert sel.reduction > 0.3
+
+    def test_empty_input(self, lu_profile):
+        sel = select_context(lu_profile, [])
+        assert sel.reduction == 0.0
+        assert sel.selected_points == 0
+
+    def test_expand(self, lu_profile):
+        sel_sem = select_semantic(lu_profile)
+        sel = select_context(lu_profile, sel_sem.selected_points_list)
+        rep = sel.selected_points_list[0]
+        assert rep in sel.expand(rep)

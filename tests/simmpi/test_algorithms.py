@@ -1,0 +1,108 @@
+"""Collective-algorithm selection tests: all variants agree on results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import SimMPI, run_app
+
+ALGO_SETS = [
+    None,
+    {"bcast": "chain"},
+    {"allreduce": "reduce_bcast"},
+    {"bcast": "chain", "allreduce": "reduce_bcast"},
+]
+
+
+def mixed_app(ctx):
+    s = ctx.alloc(5, ctx.DOUBLE)
+    r = ctx.alloc(5, ctx.DOUBLE)
+    s.view[:] = np.arange(5) * (ctx.rank + 1)
+    yield from ctx.Allreduce(s.addr, r.addr, 5, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+    yield from ctx.Bcast(r.addr, 5, ctx.DOUBLE, ctx.size - 1, ctx.WORLD)
+    return list(r.view)
+
+
+@pytest.mark.parametrize("algorithms", ALGO_SETS)
+@pytest.mark.parametrize("nranks", [1, 2, 3, 5, 8])
+def test_all_algorithms_agree(algorithms, nranks):
+    baseline = run_app(mixed_app, nranks).results
+    variant = run_app(mixed_app, nranks, algorithms=algorithms).results
+    assert variant == baseline
+
+
+def test_forced_recursive_doubling_on_pow2():
+    res = run_app(mixed_app, 4, algorithms={"allreduce": "recursive_doubling"})
+    assert res.results[0] == res.results[3]
+
+
+def test_forced_recursive_doubling_rejects_non_pow2():
+    from repro.simmpi import FiberCrashed
+
+    with pytest.raises(FiberCrashed):
+        run_app(mixed_app, 3, algorithms={"allreduce": "recursive_doubling"})
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        SimMPI(2, algorithms={"bcast": "telepathy"})
+    with pytest.raises(ValueError):
+        SimMPI(2, algorithms={"gather": "binomial"})
+
+
+def test_chain_uses_different_edges():
+    """The chain and binomial broadcasts move the same data over
+    different communication edges (same message count, different
+    pattern)."""
+    from repro.simmpi.fiber import Send
+    from repro.simmpi.scheduler import Scheduler
+
+    def edges_of(algorithms):
+        sent = set()
+
+        class SpyScheduler(Scheduler):
+            def _handle_send(self, call: Send) -> None:
+                sent.add((call.src, call.dst))
+                super()._handle_send(call)
+
+        import repro.simmpi.runtime as rt
+
+        original = rt.Scheduler
+        rt.Scheduler = SpyScheduler
+        try:
+            run_app(bcast_only, 8, algorithms=algorithms)
+        finally:
+            rt.Scheduler = original
+        return sent
+
+    def bcast_only(ctx):
+        buf = ctx.alloc(2, ctx.DOUBLE)
+        yield from ctx.Bcast(buf.addr, 2, ctx.DOUBLE, 0, ctx.WORLD)
+
+    binomial = edges_of(None)
+    chain = edges_of({"bcast": "chain"})
+    assert chain == {(r, r + 1) for r in range(7)}
+    assert binomial != chain
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nranks=st.integers(min_value=1, max_value=8),
+    root=st.integers(min_value=0, max_value=7),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_chain_bcast_matches_binomial(nranks, root, seed):
+    root %= nranks
+    payload = np.random.default_rng(seed).standard_normal(6)
+
+    def app(ctx):
+        buf = ctx.alloc(6, ctx.DOUBLE)
+        if ctx.rank == root:
+            buf.view[:] = payload
+        yield from ctx.Bcast(buf.addr, 6, ctx.DOUBLE, root, ctx.WORLD)
+        return buf.view.copy()
+
+    for algos in (None, {"bcast": "chain"}):
+        for res in run_app(app, nranks, algorithms=algos).results:
+            np.testing.assert_array_equal(res, payload)

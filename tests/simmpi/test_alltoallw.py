@@ -1,0 +1,129 @@
+"""Alltoallw correctness and fault-surface tests."""
+
+import numpy as np
+import pytest
+
+from repro.injection import FaultInjector, FaultSpec, InjectionPoint, param_kind
+from repro.profiling import CommProfiler
+from repro.simmpi import MPIError, SegmentationFault, run_app
+
+SIZES = [1, 2, 3, 4, 6]
+
+
+def mixed_type_app(ctx):
+    """Each peer pair exchanges a different datatype (INT to even peers,
+    DOUBLE to odd) — the alltoallw use case."""
+    n = ctx.size
+    # Layout: per peer, 2 elements; byte displacements reflect the type.
+    stypes = [ctx.INT if j % 2 == 0 else ctx.DOUBLE for j in range(n)]
+    rtypes = [ctx.INT if ctx.rank % 2 == 0 else ctx.DOUBLE for _ in range(n)]
+    sizes = [4 if j % 2 == 0 else 8 for j in range(n)]
+    my_in_size = 4 if ctx.rank % 2 == 0 else 8
+
+    sbuf = ctx.alloc(sum(sizes) * 2, ctx.BYTE, "w.sbuf")
+    rbuf = ctx.alloc(my_in_size * 2 * n, ctx.BYTE, "w.rbuf")
+    sdispls = np.zeros(n, dtype=np.int64)
+    for j in range(1, n):
+        sdispls[j] = sdispls[j - 1] + 2 * sizes[j - 1]
+    rdispls = np.arange(n, dtype=np.int64) * (2 * my_in_size)
+    counts = np.full(n, 2, dtype=np.int64)
+
+    # Fill each peer's block with rank-tagged values in its datatype.
+    for j in range(n):
+        raw = sbuf.view[int(sdispls[j]) : int(sdispls[j]) + 2 * sizes[j]]
+        if j % 2 == 0:
+            raw.view(np.int32)[:] = [ctx.rank * 100 + j, ctx.rank * 100 + j + 50]
+        else:
+            raw.view(np.float64)[:] = [ctx.rank + 0.25, j + 0.5]
+
+    yield from ctx.Alltoallw(
+        sbuf.addr, counts, sdispls, stypes, rbuf.addr, counts, rdispls, rtypes, ctx.WORLD
+    )
+
+    out = []
+    for src in range(n):
+        raw = rbuf.view[int(rdispls[src]) : int(rdispls[src]) + 2 * my_in_size]
+        if ctx.rank % 2 == 0:
+            out.append([int(v) for v in raw.view(np.int32)])
+        else:
+            out.append([float(v) for v in raw.view(np.float64)])
+    return out
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_alltoallw_mixed_types(nranks):
+    results = run_app(mixed_type_app, nranks).results
+    for rank in range(nranks):
+        for src in range(nranks):
+            got = results[rank][src]
+            if rank % 2 == 0:
+                assert got == [src * 100 + rank, src * 100 + rank + 50]
+            else:
+                assert got == pytest.approx([src + 0.25, rank + 0.5])
+
+
+def test_alltoallw_is_profiled():
+    prof = CommProfiler()
+    run_app(mixed_type_app, 3, instruments=[prof])
+    assert prof.profile.collective_mix() == {"Alltoallw": 3}
+
+
+def test_alltoallw_type_mismatch_truncates():
+    """A peer pair disagreeing on the element size → truncation error."""
+
+    def app(ctx):
+        n = ctx.size
+        counts = np.full(n, 2, dtype=np.int64)
+        displs = np.arange(n, dtype=np.int64) * 16
+        big = [ctx.DOUBLE] * n
+        small = [ctx.INT] * n
+        sbuf = ctx.alloc(16 * n, ctx.BYTE)
+        rbuf = ctx.alloc(16 * n, ctx.BYTE)
+        stypes = big if ctx.rank == 0 else small
+        yield from ctx.Alltoallw(
+            sbuf.addr, counts, displs, stypes, rbuf.addr, counts, displs, small, ctx.WORLD
+        )
+
+    with pytest.raises(MPIError) as exc:
+        run_app(app, 2)
+    assert exc.value.errclass == "MPI_ERR_TRUNCATE"
+
+
+def _first_point(nranks=2):
+    prof = CommProfiler()
+    run_app(mixed_type_app, nranks, instruments=[prof])
+    call = next(c for c in prof.profile.calls if c.rank == 0)
+    return InjectionPoint(0, call.name, call.site, call.invocation)
+
+
+class TestAlltoallwInjection:
+    def test_handle_vector_param_kind(self):
+        assert param_kind("sendtypes") == "handle_vector"
+        assert param_kind("recvtypes") == "handle_vector"
+
+    def test_flipped_type_handle_segfaults(self):
+        point = _first_point()
+        spec = FaultSpec(point, "sendtypes", 40)  # element 0, bit 40
+        injector = FaultInjector(spec, np.random.default_rng(0))
+        with pytest.raises(SegmentationFault):
+            run_app(mixed_type_app, 2, instruments=[injector])
+        assert injector.fired and injector.record.kind == "handle_vector"
+
+    def test_buffer_fault_on_alltoallw(self):
+        point = _first_point()
+        spec = FaultSpec(point, "sendbuf", 3)
+        injector = FaultInjector(spec, np.random.default_rng(0))
+        res = run_app(mixed_type_app, 2, instruments=[injector])
+        assert injector.fired
+        assert injector.record.extent_bytes > 0
+
+    def test_byte_displacement_fault_reaches_memory(self):
+        from repro.simmpi import SimMPIError
+
+        point = _first_point()
+        # Bit 30 of sdispls[0]: the byte displacement jumps ~1 GiB, far
+        # outside the arena.
+        injector = FaultInjector(FaultSpec(point, "sdispls", 30), np.random.default_rng(0))
+        with pytest.raises(SimMPIError):
+            run_app(mixed_type_app, 2, instruments=[injector])
+        assert injector.fired

@@ -1,0 +1,194 @@
+"""Collective correctness against numpy references, at several sizes."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import run_app
+
+SIZES = [1, 2, 3, 4, 7, 8, 16]
+
+
+def run(app_fn, nranks):
+    return run_app(app_fn, nranks).results
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast(nranks, root):
+    root = nranks - 1 if root == "last" else 0
+
+    def app(ctx):
+        buf = ctx.alloc(5, ctx.DOUBLE)
+        if ctx.rank == root:
+            buf.view[:] = [1.5, -2.0, 3.25, 0.0, 9.0]
+        yield from ctx.Bcast(buf.addr, 5, ctx.DOUBLE, root, ctx.WORLD)
+        return list(buf.view)
+
+    for res in run(app, nranks):
+        assert res == [1.5, -2.0, 3.25, 0.0, 9.0]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_reduce_sum(nranks):
+    def app(ctx):
+        s = ctx.alloc(3, ctx.DOUBLE)
+        r = ctx.alloc(3, ctx.DOUBLE)
+        s.view[:] = [ctx.rank, 2 * ctx.rank, 1.0]
+        yield from ctx.Reduce(s.addr, r.addr, 3, ctx.DOUBLE, ctx.SUM, 0, ctx.WORLD)
+        return list(r.view) if ctx.rank == 0 else None
+
+    results = run(app, nranks)
+    total = sum(range(nranks))
+    assert results[0] == [total, 2 * total, nranks]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+@pytest.mark.parametrize("opname,reducer", [("SUM", np.sum), ("MAX", np.max), ("MIN", np.min), ("PROD", np.prod)])
+def test_allreduce_ops(nranks, opname, reducer):
+    def app(ctx):
+        s = ctx.alloc(4, ctx.DOUBLE)
+        r = ctx.alloc(4, ctx.DOUBLE)
+        s.view[:] = [ctx.rank + 1, ctx.rank * 0.5, -float(ctx.rank), 2.0]
+        op = getattr(ctx, opname)
+        yield from ctx.Allreduce(s.addr, r.addr, 4, ctx.DOUBLE, op, ctx.WORLD)
+        return list(r.view)
+
+    contributions = np.array(
+        [[r + 1, r * 0.5, -float(r), 2.0] for r in range(nranks)]
+    )
+    expect = list(reducer(contributions, axis=0))
+    for res in run(app, nranks):
+        assert res == pytest.approx(expect)
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_gather(nranks):
+    def app(ctx):
+        s = ctx.alloc(2, ctx.INT)
+        r = ctx.alloc(2 * ctx.size, ctx.INT)
+        s.view[:] = [ctx.rank, ctx.rank * 10]
+        yield from ctx.Gather(s.addr, 2, r.addr, 2, ctx.INT, 0, ctx.WORLD)
+        return list(r.view) if ctx.rank == 0 else None
+
+    results = run(app, nranks)
+    expect = [v for r in range(nranks) for v in (r, r * 10)]
+    assert results[0] == expect
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_scatter(nranks):
+    def app(ctx):
+        s = ctx.alloc(3 * ctx.size, ctx.INT)
+        r = ctx.alloc(3, ctx.INT)
+        if ctx.rank == 0:
+            s.view[:] = np.arange(3 * ctx.size)
+        yield from ctx.Scatter(s.addr, 3, r.addr, 3, ctx.INT, 0, ctx.WORLD)
+        return list(r.view)
+
+    for rank, res in enumerate(run(app, nranks)):
+        assert res == [3 * rank, 3 * rank + 1, 3 * rank + 2]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_allgather(nranks):
+    def app(ctx):
+        s = ctx.alloc(2, ctx.DOUBLE)
+        r = ctx.alloc(2 * ctx.size, ctx.DOUBLE)
+        s.view[:] = [float(ctx.rank), float(-ctx.rank)]
+        yield from ctx.Allgather(s.addr, 2, r.addr, 2, ctx.DOUBLE, ctx.WORLD)
+        return list(r.view)
+
+    expect = [v for r in range(nranks) for v in (float(r), float(-r))]
+    for res in run(app, nranks):
+        assert res == expect
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_alltoall(nranks):
+    def app(ctx):
+        s = ctx.alloc(ctx.size, ctx.INT)
+        r = ctx.alloc(ctx.size, ctx.INT)
+        s.view[:] = [ctx.rank * 100 + j for j in range(ctx.size)]
+        yield from ctx.Alltoall(s.addr, 1, r.addr, 1, ctx.INT, ctx.WORLD)
+        return list(r.view)
+
+    for rank, res in enumerate(run(app, nranks)):
+        assert res == [src * 100 + rank for src in range(nranks)]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_alltoallv(nranks):
+    """Rank r sends r+1 copies of its id to every peer."""
+
+    def app(ctx):
+        n = ctx.size
+        mycount = ctx.rank + 1
+        s = ctx.alloc(mycount * n, ctx.INT)
+        s.view[:] = ctx.rank
+        total_in = sum(src + 1 for src in range(n))
+        r = ctx.alloc(total_in, ctx.INT)
+        sendcounts = np.full(n, mycount, dtype=np.int64)
+        sdispls = np.arange(n, dtype=np.int64) * mycount
+        recvcounts = np.array([src + 1 for src in range(n)], dtype=np.int64)
+        rdispls = np.zeros(n, dtype=np.int64)
+        rdispls[1:] = np.cumsum(recvcounts)[:-1]
+        yield from ctx.Alltoallv(
+            s.addr, sendcounts, sdispls, r.addr, recvcounts, rdispls, ctx.INT, ctx.WORLD
+        )
+        return list(r.view)
+
+    for res in run(app, nranks):
+        expect = [src for src in range(nranks) for _ in range(src + 1)]
+        assert res == expect
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_barrier_completes(nranks):
+    def app(ctx):
+        yield from ctx.Barrier(ctx.WORLD)
+        yield from ctx.Barrier(ctx.WORLD)
+        return True
+
+    assert all(run(app, nranks))
+
+
+def test_allreduce_on_subcommunicator():
+    def app(ctx):
+        sub = yield from ctx.Comm_split(ctx.WORLD, ctx.rank % 2)
+        s = ctx.alloc(1, ctx.INT)
+        r = ctx.alloc(1, ctx.INT)
+        s.view[0] = ctx.rank
+        yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.INT, ctx.SUM, sub)
+        return int(r.view[0])
+
+    results = run_app(app, 6).results
+    assert results == [0 + 2 + 4, 1 + 3 + 5, 6, 9, 6, 9]
+
+
+def test_comm_dup_isolates_traffic():
+    def app(ctx):
+        dup = yield from ctx.Comm_dup(ctx.WORLD)
+        s = ctx.alloc(1, ctx.INT)
+        r = ctx.alloc(1, ctx.INT)
+        s.view[0] = 1
+        yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.INT, ctx.SUM, dup)
+        return int(r.view[0])
+
+    assert run_app(app, 4).results == [4, 4, 4, 4]
+
+
+def test_sequential_collectives_do_not_interfere():
+    def app(ctx):
+        s = ctx.alloc(1, ctx.DOUBLE)
+        r = ctx.alloc(1, ctx.DOUBLE)
+        out = []
+        for i in range(5):
+            s.view[0] = float(ctx.rank + i)
+            yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+            out.append(float(r.view[0]))
+        return out
+
+    n = 4
+    results = run_app(app, n).results
+    base = sum(range(n))
+    assert results[0] == [base + n * i for i in range(5)]

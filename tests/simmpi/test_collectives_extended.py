@@ -1,0 +1,195 @@
+"""Correctness tests for the extended collectives: Scan, Exscan,
+Reduce_scatter, Gatherv, Scatterv, Allgatherv."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import run_app
+
+SIZES = [1, 2, 3, 4, 7, 8]
+
+
+def run(app_fn, nranks):
+    return run_app(app_fn, nranks).results
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_scan_inclusive_prefix(nranks):
+    def app(ctx):
+        s = ctx.alloc(3, ctx.DOUBLE)
+        r = ctx.alloc(3, ctx.DOUBLE)
+        s.view[:] = [ctx.rank + 1, 1.0, 2.0 * ctx.rank]
+        yield from ctx.Scan(s.addr, r.addr, 3, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        return list(r.view)
+
+    for rank, res in enumerate(run(app, nranks)):
+        expect = [
+            sum(k + 1 for k in range(rank + 1)),
+            rank + 1,
+            sum(2.0 * k for k in range(rank + 1)),
+        ]
+        assert res == pytest.approx(expect)
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_exscan_exclusive_prefix(nranks):
+    def app(ctx):
+        s = ctx.alloc(1, ctx.LONG)
+        r = ctx.alloc(1, ctx.LONG)
+        s.view[0] = ctx.rank + 1
+        r.view[0] = -999  # sentinel: rank 0's recvbuf stays undefined
+        yield from ctx.Exscan(s.addr, r.addr, 1, ctx.LONG, ctx.SUM, ctx.WORLD)
+        return int(r.view[0])
+
+    results = run(app, nranks)
+    assert results[0] == -999
+    for rank in range(1, nranks):
+        assert results[rank] == sum(k + 1 for k in range(rank))
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_scan_max(nranks):
+    def app(ctx):
+        s = ctx.alloc(1, ctx.DOUBLE)
+        r = ctx.alloc(1, ctx.DOUBLE)
+        s.view[0] = float((ctx.rank * 7) % 5)
+        yield from ctx.Scan(s.addr, r.addr, 1, ctx.DOUBLE, ctx.MAX, ctx.WORLD)
+        return float(r.view[0])
+
+    vals = [float((r * 7) % 5) for r in range(nranks)]
+    for rank, res in enumerate(run(app, nranks)):
+        assert res == max(vals[: rank + 1])
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_reduce_scatter_block(nranks):
+    def app(ctx):
+        n = ctx.size
+        s = ctx.alloc(2 * n, ctx.DOUBLE)
+        r = ctx.alloc(2, ctx.DOUBLE)
+        s.view[:] = [ctx.rank + j for j in range(2 * n)]
+        yield from ctx.Reduce_scatter(s.addr, r.addr, 2, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        return list(r.view)
+
+    contributions = np.array(
+        [[r + j for j in range(2 * nranks)] for r in range(nranks)], dtype=float
+    )
+    totals = contributions.sum(axis=0)
+    for rank, res in enumerate(run(app, nranks)):
+        assert res == pytest.approx(list(totals[2 * rank : 2 * rank + 2]))
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_gatherv_variable_blocks(nranks):
+    def app(ctx):
+        n = ctx.size
+        mine = ctx.rank + 1
+        s = ctx.alloc(mine, ctx.INT)
+        s.view[:] = ctx.rank
+        counts = np.array([r + 1 for r in range(n)], dtype=np.int64)
+        displs = np.zeros(n, dtype=np.int64)
+        displs[1:] = np.cumsum(counts)[:-1]
+        r = ctx.alloc(int(counts.sum()), ctx.INT)
+        yield from ctx.Gatherv(s.addr, mine, r.addr, counts, displs, ctx.INT, 0, ctx.WORLD)
+        return list(r.view) if ctx.rank == 0 else None
+
+    results = run(app, nranks)
+    expect = [src for src in range(nranks) for _ in range(src + 1)]
+    assert results[0] == expect
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_scatterv_variable_blocks(nranks):
+    def app(ctx):
+        n = ctx.size
+        counts = np.array([r + 1 for r in range(n)], dtype=np.int64)
+        displs = np.zeros(n, dtype=np.int64)
+        displs[1:] = np.cumsum(counts)[:-1]
+        s = ctx.alloc(int(counts.sum()), ctx.INT)
+        if ctx.rank == 0:
+            s.view[:] = [src for src in range(n) for _ in range(src + 1)]
+        mine = ctx.rank + 1
+        r = ctx.alloc(mine, ctx.INT)
+        yield from ctx.Scatterv(s.addr, counts, displs, r.addr, mine, ctx.INT, 0, ctx.WORLD)
+        return list(r.view)
+
+    for rank, res in enumerate(run(app, nranks)):
+        assert res == [rank] * (rank + 1)
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+def test_allgatherv_variable_blocks(nranks):
+    def app(ctx):
+        n = ctx.size
+        mine = ctx.rank + 1
+        s = ctx.alloc(mine, ctx.INT)
+        s.view[:] = ctx.rank * 10
+        counts = np.array([r + 1 for r in range(n)], dtype=np.int64)
+        displs = np.zeros(n, dtype=np.int64)
+        displs[1:] = np.cumsum(counts)[:-1]
+        r = ctx.alloc(int(counts.sum()), ctx.INT)
+        yield from ctx.Allgatherv(s.addr, mine, r.addr, counts, displs, ctx.INT, ctx.WORLD)
+        return list(r.view)
+
+    expect = [src * 10 for src in range(nranks) for _ in range(src + 1)]
+    for res in run(app, nranks):
+        assert res == expect
+
+
+def test_scan_matches_numpy_cumsum_property():
+    rng = np.random.default_rng(5)
+    data = rng.standard_normal((6, 8))
+
+    def app(ctx):
+        s = ctx.alloc(8, ctx.DOUBLE)
+        r = ctx.alloc(8, ctx.DOUBLE)
+        s.view[:] = data[ctx.rank]
+        yield from ctx.Scan(s.addr, r.addr, 8, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        return r.view.copy()
+
+    rows = run(app, 6)
+    np.testing.assert_allclose(np.vstack(rows), np.cumsum(data, axis=0), rtol=1e-12)
+
+
+def test_reduce_scatter_equals_allreduce_slice():
+    rng = np.random.default_rng(6)
+    data = rng.standard_normal((4, 12))
+
+    def app(ctx):
+        s = ctx.alloc(12, ctx.DOUBLE)
+        r1 = ctx.alloc(3, ctx.DOUBLE)
+        r2 = ctx.alloc(12, ctx.DOUBLE)
+        s.view[:] = data[ctx.rank]
+        yield from ctx.Reduce_scatter(s.addr, r1.addr, 3, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        yield from ctx.Allreduce(s.addr, r2.addr, 12, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        return r1.view.copy(), r2.view.copy()
+
+    for rank, (r1, r2) in enumerate(run(app, 4)):
+        np.testing.assert_allclose(r1, r2[3 * rank : 3 * rank + 3], rtol=1e-12)
+
+
+def test_extended_collectives_are_instrumented():
+    from repro.simmpi import CollectiveCall, Instrument
+
+    seen = []
+
+    class Spy(Instrument):
+        def on_collective(self, ctx, call: CollectiveCall):
+            if call.rank == 0:
+                seen.append(call.name)
+
+    def app(ctx):
+        n = ctx.size
+        s = ctx.alloc(2 * n, ctx.DOUBLE)
+        r = ctx.alloc(2 * n, ctx.DOUBLE)
+        counts = np.full(n, 2, dtype=np.int64)
+        displs = np.arange(n, dtype=np.int64) * 2
+        yield from ctx.Scan(s.addr, r.addr, 2, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        yield from ctx.Exscan(s.addr, r.addr, 2, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        yield from ctx.Reduce_scatter(s.addr, r.addr, 2, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        yield from ctx.Gatherv(s.addr, 2, r.addr, counts, displs, ctx.DOUBLE, 0, ctx.WORLD)
+        yield from ctx.Scatterv(s.addr, counts, displs, r.addr, 2, ctx.DOUBLE, 0, ctx.WORLD)
+        yield from ctx.Allgatherv(s.addr, 2, r.addr, counts, displs, ctx.DOUBLE, ctx.WORLD)
+
+    run_app(app, 3, instruments=[Spy()])
+    assert seen == ["Scan", "Exscan", "Reduce_scatter", "Gatherv", "Scatterv", "Allgatherv"]

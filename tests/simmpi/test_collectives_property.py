@@ -1,0 +1,160 @@
+"""Property-based collective tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import run_app
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(
+    nranks=st.integers(min_value=1, max_value=9),
+    count=st.integers(min_value=1, max_value=32),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_allreduce_sum_matches_numpy(nranks, count, seed):
+    data = np.random.default_rng(seed).standard_normal((nranks, count))
+
+    def app(ctx):
+        s = ctx.alloc(count, ctx.DOUBLE)
+        r = ctx.alloc(count, ctx.DOUBLE)
+        s.view[:] = data[ctx.rank]
+        yield from ctx.Allreduce(s.addr, r.addr, count, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        return r.view.copy()
+
+    results = run_app(app, nranks).results
+    expect = data.sum(axis=0)
+    for res in results:
+        np.testing.assert_allclose(res, expect, rtol=1e-12, atol=1e-12)
+    # Allreduce invariant: every rank holds the identical result.
+    for res in results[1:]:
+        np.testing.assert_array_equal(res, results[0])
+
+
+@settings(**SETTINGS)
+@given(
+    nranks=st.integers(min_value=1, max_value=8),
+    root=st.integers(min_value=0, max_value=7),
+    count=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_bcast_from_any_root(nranks, root, count, seed):
+    root %= nranks
+    payload = np.random.default_rng(seed).standard_normal(count)
+
+    def app(ctx):
+        buf = ctx.alloc(count, ctx.DOUBLE)
+        if ctx.rank == root:
+            buf.view[:] = payload
+        yield from ctx.Bcast(buf.addr, count, ctx.DOUBLE, root, ctx.WORLD)
+        return buf.view.copy()
+
+    for res in run_app(app, nranks).results:
+        np.testing.assert_array_equal(res, payload)
+
+
+@settings(**SETTINGS)
+@given(
+    nranks=st.integers(min_value=1, max_value=8),
+    root=st.integers(min_value=0, max_value=7),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_reduce_max_matches_numpy(nranks, root, seed):
+    root %= nranks
+    data = np.random.default_rng(seed).standard_normal((nranks, 8))
+
+    def app(ctx):
+        s = ctx.alloc(8, ctx.DOUBLE)
+        r = ctx.alloc(8, ctx.DOUBLE)
+        s.view[:] = data[ctx.rank]
+        yield from ctx.Reduce(s.addr, r.addr, 8, ctx.DOUBLE, ctx.MAX, root, ctx.WORLD)
+        return r.view.copy() if ctx.rank == root else None
+
+    results = run_app(app, nranks).results
+    np.testing.assert_array_equal(results[root], data.max(axis=0))
+
+
+@settings(**SETTINGS)
+@given(
+    nranks=st.integers(min_value=1, max_value=8),
+    blocks=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_allgather_alltoall_duality(nranks, blocks, seed):
+    """Alltoall of replicated blocks equals allgather."""
+    data = np.random.default_rng(seed).standard_normal((nranks, blocks))
+
+    def app(ctx):
+        n = ctx.size
+        sg = ctx.alloc(blocks, ctx.DOUBLE)
+        rg = ctx.alloc(blocks * n, ctx.DOUBLE)
+        sg.view[:] = data[ctx.rank]
+        yield from ctx.Allgather(sg.addr, blocks, rg.addr, blocks, ctx.DOUBLE, ctx.WORLD)
+
+        sa = ctx.alloc(blocks * n, ctx.DOUBLE)
+        ra = ctx.alloc(blocks * n, ctx.DOUBLE)
+        sa.view[:] = np.tile(data[ctx.rank], n)
+        yield from ctx.Alltoall(sa.addr, blocks, ra.addr, blocks, ctx.DOUBLE, ctx.WORLD)
+        return rg.view.copy(), ra.view.copy()
+
+    for rg, ra in run_app(app, nranks).results:
+        np.testing.assert_array_equal(rg, ra)
+
+
+@settings(**SETTINGS)
+@given(
+    nranks=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_reduce_then_bcast_equals_allreduce(nranks, seed):
+    data = np.random.default_rng(seed).standard_normal((nranks, 4))
+
+    def app(ctx):
+        s = ctx.alloc(4, ctx.DOUBLE)
+        r1 = ctx.alloc(4, ctx.DOUBLE)
+        r2 = ctx.alloc(4, ctx.DOUBLE)
+        s.view[:] = data[ctx.rank]
+        yield from ctx.Allreduce(s.addr, r1.addr, 4, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        yield from ctx.Reduce(s.addr, r2.addr, 4, ctx.DOUBLE, ctx.SUM, 0, ctx.WORLD)
+        yield from ctx.Bcast(r2.addr, 4, ctx.DOUBLE, 0, ctx.WORLD)
+        return r1.view.copy(), r2.view.copy()
+
+    for r1, r2 in run_app(app, nranks).results:
+        np.testing.assert_allclose(r1, r2, rtol=1e-12)
+
+
+@settings(**SETTINGS)
+@given(
+    nranks=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_alltoall_is_transpose(nranks, seed):
+    matrix = np.random.default_rng(seed).integers(0, 1000, size=(nranks, nranks))
+
+    def app(ctx):
+        s = ctx.alloc(ctx.size, ctx.LONG)
+        r = ctx.alloc(ctx.size, ctx.LONG)
+        s.view[:] = matrix[ctx.rank]
+        yield from ctx.Alltoall(s.addr, 1, r.addr, 1, ctx.LONG, ctx.WORLD)
+        return r.view.copy()
+
+    rows = run_app(app, nranks).results
+    np.testing.assert_array_equal(np.vstack(rows), matrix.T)
+
+
+@pytest.mark.parametrize("dtype_name", ["INT", "LONG", "FLOAT", "DOUBLE"])
+def test_allreduce_across_datatypes(dtype_name):
+    def app(ctx):
+        dt = getattr(ctx, dtype_name)
+        s = ctx.alloc(3, dt)
+        r = ctx.alloc(3, dt)
+        s.view[:] = [1, 2, 3]
+        yield from ctx.Allreduce(s.addr, r.addr, 3, dt, ctx.SUM, ctx.WORLD)
+        return list(r.view)
+
+    results = run_app(app, 5).results
+    assert results[0] == [5, 10, 15]

@@ -1,0 +1,68 @@
+"""Communicator and CommFactory tests."""
+
+import pytest
+
+from repro.simmpi.comm import CommFactory
+from repro.simmpi.errors import MPIError
+
+
+@pytest.fixture()
+def factory():
+    return CommFactory()
+
+
+def test_world_comm(factory):
+    world, handle = factory.world(8)
+    assert world.size == 8
+    assert world.group == tuple(range(8))
+    assert world.name == "MPI_COMM_WORLD"
+    assert factory.space.resolve(handle) is world
+
+
+def test_rank_mapping(factory):
+    comm, _ = factory.create((3, 5, 9), name="sub")
+    assert comm.rank_of(5) == 1
+    assert comm.world_rank(2) == 9
+    assert comm.contains(3)
+    assert not comm.contains(4)
+
+
+def test_rank_of_nonmember_raises(factory):
+    comm, _ = factory.create((0, 1))
+    with pytest.raises(MPIError):
+        comm.rank_of(7)
+
+
+def test_world_rank_out_of_range(factory):
+    comm, _ = factory.create((0, 1))
+    with pytest.raises(MPIError):
+        comm.world_rank(5)
+
+
+def test_context_ids_are_unique(factory):
+    a, _ = factory.create((0,))
+    b, _ = factory.create((0,))
+    assert a.context_id != b.context_id
+
+
+def test_duplicate_ranks_rejected(factory):
+    with pytest.raises(ValueError):
+        factory.create((0, 0, 1))
+
+
+def test_split_partitions_by_colour(factory):
+    parent, _ = factory.world(6)
+    assignments = {r: r % 2 for r in range(6)}
+    result = factory.split(parent, assignments)
+    assert set(result) == {0, 1}
+    even, _ = result[0]
+    odd, _ = result[1]
+    assert even.group == (0, 2, 4)
+    assert odd.group == (1, 3, 5)
+
+
+def test_split_skips_unassigned_ranks(factory):
+    parent, _ = factory.world(4)
+    result = factory.split(parent, {0: 0, 2: 0})
+    comm, _ = result[0]
+    assert comm.group == (0, 2)

@@ -1,0 +1,208 @@
+"""Context API tests: stack capture, sites, invocations, phases, p2p."""
+
+import pytest
+
+from repro.simmpi import AppError, CollectiveCall, Instrument, MPIError, run_app
+
+
+class Recorder(Instrument):
+    def __init__(self):
+        self.calls: list[CollectiveCall] = []
+        self.completed: list[str] = []
+        self.p2p: list[tuple] = []
+
+    def on_collective(self, ctx, call):
+        self.calls.append(call)
+
+    def on_complete(self, ctx, call):
+        self.completed.append(call.name)
+
+    def on_p2p(self, ctx, kind, src, dst, tag, nbytes):
+        self.p2p.append((ctx.rank, kind, src, dst, tag, nbytes))
+
+
+def helper_reduce(ctx, s, r):
+    yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+
+
+def outer_helper(ctx, s, r):
+    yield from helper_reduce(ctx, s, r)
+
+
+def test_stack_capture_reflects_call_chain():
+    rec = Recorder()
+
+    def app(ctx):
+        s = ctx.alloc(1, ctx.DOUBLE)
+        r = ctx.alloc(1, ctx.DOUBLE)
+        yield from outer_helper(ctx, s, r)
+        return None
+
+    run_app(app, 2, instruments=[rec])
+    call = rec.calls[0]
+    funcs = [f.split("@")[0] for f in call.stack]
+    assert funcs == ["app", "outer_helper", "helper_reduce"]
+    assert call.site.startswith("test_context.py:")
+
+
+def test_distinct_call_sites_have_distinct_ids():
+    rec = Recorder()
+
+    def app(ctx):
+        s = ctx.alloc(1, ctx.DOUBLE)
+        r = ctx.alloc(1, ctx.DOUBLE)
+        yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+
+    run_app(app, 1, instruments=[rec])
+    sites = {c.site for c in rec.calls}
+    assert len(sites) == 2
+    assert all(c.invocation == 0 for c in rec.calls)
+
+
+def test_invocation_counter_per_site():
+    rec = Recorder()
+
+    def app(ctx):
+        s = ctx.alloc(1, ctx.DOUBLE)
+        r = ctx.alloc(1, ctx.DOUBLE)
+        for _ in range(3):
+            yield from helper_reduce(ctx, s, r)
+
+    run_app(app, 1, instruments=[rec])
+    assert [c.invocation for c in rec.calls] == [0, 1, 2]
+    assert len({c.site for c in rec.calls}) == 1
+
+
+def test_seq_counts_all_collectives():
+    rec = Recorder()
+
+    def app(ctx):
+        s = ctx.alloc(1, ctx.DOUBLE)
+        r = ctx.alloc(1, ctx.DOUBLE)
+        yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        yield from ctx.Barrier(ctx.WORLD)
+        yield from ctx.Bcast(s.addr, 1, ctx.DOUBLE, 0, ctx.WORLD)
+
+    run_app(app, 2, instruments=[rec])
+    rank0 = [c for c in rec.calls if c.rank == 0]
+    assert [c.seq for c in rank0] == [0, 1, 2]
+
+
+def test_phase_recorded_at_call():
+    rec = Recorder()
+
+    def app(ctx):
+        s = ctx.alloc(1, ctx.DOUBLE)
+        r = ctx.alloc(1, ctx.DOUBLE)
+        ctx.set_phase("input")
+        yield from helper_reduce(ctx, s, r)
+        ctx.set_phase("compute")
+        yield from helper_reduce(ctx, s, r)
+        ctx.set_phase("end")
+        yield from helper_reduce(ctx, s, r)
+
+    run_app(app, 1, instruments=[rec])
+    assert [c.phase for c in rec.calls] == ["input", "compute", "end"]
+
+
+def test_unknown_phase_rejected():
+    def app(ctx):
+        ctx.set_phase("warmup")
+        yield from ctx.Barrier(ctx.WORLD)
+
+    from repro.simmpi import FiberCrashed
+
+    with pytest.raises(FiberCrashed):
+        run_app(app, 1)
+
+
+def test_on_complete_fires_after_success():
+    rec = Recorder()
+
+    def app(ctx):
+        yield from ctx.Barrier(ctx.WORLD)
+
+    run_app(app, 2, instruments=[rec])
+    assert rec.completed.count("Barrier") == 2
+
+
+def test_app_error_propagates():
+    def app(ctx):
+        yield from ctx.Barrier(ctx.WORLD)
+        ctx.app_error("custom failure")
+
+    with pytest.raises(AppError):
+        run_app(app, 2)
+
+
+def test_p2p_send_recv_roundtrip_and_instrumented():
+    rec = Recorder()
+
+    def app(ctx):
+        buf = ctx.alloc(4, ctx.INT)
+        if ctx.rank == 0:
+            buf.view[:] = [9, 8, 7, 6]
+            yield from ctx.Send(buf.addr, 4, ctx.INT, 1, 42, ctx.WORLD)
+            return None
+        n = yield from ctx.Recv(buf.addr, 4, ctx.INT, 0, 42, ctx.WORLD)
+        return (n, list(buf.view))
+
+    results = run_app(app, 2, instruments=[rec]).results
+    assert results[1] == (4, [9, 8, 7, 6])
+    kinds = {(r, k) for r, k, *_ in rec.p2p}
+    assert (0, "send") in kinds and (1, "recv") in kinds
+
+
+def test_p2p_truncation_is_mpi_err():
+    def app(ctx):
+        buf = ctx.alloc(8, ctx.INT)
+        if ctx.rank == 0:
+            yield from ctx.Send(buf.addr, 8, ctx.INT, 1, 0, ctx.WORLD)
+        else:
+            yield from ctx.Recv(buf.addr, 2, ctx.INT, 0, 0, ctx.WORLD)
+
+    with pytest.raises(MPIError) as exc:
+        run_app(app, 2)
+    assert exc.value.errclass == "MPI_ERR_TRUNCATE"
+
+
+def test_sendrecv():
+    def app(ctx):
+        s = ctx.alloc(1, ctx.INT)
+        r = ctx.alloc(1, ctx.INT)
+        s.view[0] = ctx.rank
+        peer = (ctx.rank + 1) % ctx.size
+        src = (ctx.rank - 1) % ctx.size
+        yield from ctx.Sendrecv(s.addr, 1, peer, r.addr, 1, src, ctx.INT, 5, ctx.WORLD)
+        return int(r.view[0])
+
+    results = run_app(app, 4).results
+    assert results == [3, 0, 1, 2]
+
+
+def test_comm_rank_and_size_helpers():
+    def app(ctx):
+        sub = yield from ctx.Comm_split(ctx.WORLD, ctx.rank % 2)
+        return (ctx.comm_rank(sub), ctx.comm_size(sub))
+        yield  # pragma: no cover
+
+    results = run_app(app, 4).results
+    assert results == [(0, 2), (0, 2), (1, 2), (1, 2)]
+
+
+def test_instrument_can_mutate_args():
+    class CountDoubler(Instrument):
+        def on_collective(self, ctx, call):
+            if call.name == "Bcast":
+                call.args["count"] = 0  # neutralise the broadcast
+
+    def app(ctx):
+        b = ctx.alloc(2, ctx.DOUBLE)
+        if ctx.rank == 0:
+            b.view[:] = [5.0, 5.0]
+        yield from ctx.Bcast(b.addr, 2, ctx.DOUBLE, 0, ctx.WORLD)
+        return list(b.view)
+
+    results = run_app(app, 2, instruments=[CountDoubler()]).results
+    assert results[1] == [0.0, 0.0]  # nothing was transferred

@@ -1,0 +1,79 @@
+"""Datatype registry unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.datatypes import Datatype, make_datatype_space
+from repro.simmpi.errors import MPIError, SegmentationFault
+from repro.simmpi.handles import OBJECT_EXTENT
+
+
+@pytest.fixture()
+def space():
+    return make_datatype_space()
+
+
+def test_all_basic_types_registered(space):
+    reg, by_name = space
+    assert len(reg) == len(by_name) == 10
+    for name in ("MPI_INT", "MPI_DOUBLE", "MPI_LONG", "MPI_BYTE", "MPI_DOUBLE_COMPLEX"):
+        assert name in by_name
+
+
+def test_sizes_match_numpy(space):
+    reg, by_name = space
+    expect = {
+        "MPI_CHAR": 1,
+        "MPI_INT": 4,
+        "MPI_LONG": 8,
+        "MPI_FLOAT": 4,
+        "MPI_DOUBLE": 8,
+        "MPI_UNSIGNED": 4,
+        "MPI_UNSIGNED_LONG": 8,
+        "MPI_COMPLEX": 8,
+        "MPI_DOUBLE_COMPLEX": 16,
+        "MPI_BYTE": 1,
+    }
+    for name, size in expect.items():
+        assert reg.resolve(by_name[name]).size == size
+
+
+def test_resolve_exact_handle(space):
+    reg, by_name = space
+    dt = reg.resolve(by_name["MPI_DOUBLE"])
+    assert dt.name == "MPI_DOUBLE"
+    assert dt.np_dtype == np.dtype("f8")
+
+
+def test_resolve_offset_handle_is_mpi_err(space):
+    reg, by_name = space
+    with pytest.raises(MPIError) as exc:
+        reg.resolve(by_name["MPI_INT"] + 8)
+    assert "MPI_ERR_TYPE" in str(exc.value)
+
+
+def test_resolve_far_handle_is_segfault(space):
+    reg, by_name = space
+    with pytest.raises(SegmentationFault):
+        reg.resolve(by_name["MPI_INT"] + (1 << 40))
+
+
+def test_handles_are_object_extent_apart(space):
+    reg, _ = space
+    handles = reg.handles()
+    deltas = {b - a for a, b in zip(handles, handles[1:])}
+    assert deltas == {OBJECT_EXTENT}
+
+
+def test_integer_float_classification(space):
+    reg, by_name = space
+    assert reg.resolve(by_name["MPI_INT"]).is_integer
+    assert not reg.resolve(by_name["MPI_INT"]).is_float
+    assert reg.resolve(by_name["MPI_DOUBLE"]).is_float
+    assert reg.resolve(by_name["MPI_DOUBLE_COMPLEX"]).is_float
+
+
+def test_datatype_is_frozen():
+    dt = Datatype("X", np.dtype("i4"))
+    with pytest.raises(AttributeError):
+        dt.name = "Y"

@@ -1,0 +1,60 @@
+"""Error-taxonomy unit tests."""
+
+import pytest
+
+from repro.simmpi import (
+    AppError,
+    DeadlockError,
+    FiberCrashed,
+    MPIError,
+    SegmentationFault,
+    SimMPIError,
+    StepBudgetExceeded,
+)
+
+
+def test_hierarchy():
+    for cls in (MPIError, SegmentationFault, AppError, DeadlockError, StepBudgetExceeded, FiberCrashed):
+        assert issubclass(cls, SimMPIError)
+
+
+def test_mpi_error_message_and_fields():
+    e = MPIError("MPI_ERR_COUNT", "negative count", rank=3)
+    assert e.errclass == "MPI_ERR_COUNT"
+    assert e.rank == 3
+    assert "MPI_ERR_COUNT" in str(e) and "rank 3" in str(e)
+
+
+def test_segfault_reports_range():
+    e = SegmentationFault(0x1000, 16, rank=1)
+    assert "0x1000" in str(e)
+    assert e.addr == 0x1000 and e.nbytes == 16
+
+
+def test_deadlock_reports_blocked_ranks():
+    e = DeadlockError({2: "recv(...)", 0: "recv(...)"})
+    assert "rank 0" in str(e) and "rank 2" in str(e)
+    assert e.blocked == {2: "recv(...)", 0: "recv(...)"}
+
+
+def test_deadlock_empty():
+    assert "deadlock" in str(DeadlockError())
+
+
+def test_step_budget_message():
+    e = StepBudgetExceeded(12345)
+    assert "12345" in str(e)
+    assert e.budget == 12345
+
+
+def test_fibercrashed_wraps_original():
+    orig = KeyError("missing")
+    e = FiberCrashed(5, orig)
+    assert e.original is orig
+    assert e.rank == 5
+    assert "KeyError" in str(e)
+
+
+def test_app_error_rank_suffix():
+    assert "(rank 2)" in str(AppError("boom", rank=2))
+    assert "(rank" not in str(AppError("boom"))

@@ -1,0 +1,132 @@
+"""Fault-manifestation semantics: the failure modes FastFIT relies on.
+
+These tests pin down how each kind of parameter corruption propagates —
+the behaviours DESIGN.md claims the per-rank schedule expansion and
+pointer-like handles buy us.
+"""
+
+import pytest
+
+from repro.simmpi import (
+    DeadlockError,
+    MPIError,
+    SegmentationFault,
+    run_app,
+)
+
+
+def test_mismatched_root_deadlocks():
+    """One rank believing in a different broadcast root hangs the job."""
+
+    def app(ctx):
+        b = ctx.alloc(4, ctx.DOUBLE)
+        root = 1 if ctx.rank == 2 else 0
+        yield from ctx.Bcast(b.addr, 4, ctx.DOUBLE, root, ctx.WORLD)
+
+    with pytest.raises(DeadlockError):
+        run_app(app, 4, step_budget=100_000)
+
+
+def test_comm_aliasing_deadlocks():
+    """A rank whose comm handle aliases another live communicator joins
+    the wrong context; the original collective never completes."""
+
+    def app(ctx):
+        other = yield from ctx.Comm_dup(ctx.WORLD)
+        s = ctx.alloc(1, ctx.DOUBLE)
+        r = ctx.alloc(1, ctx.DOUBLE)
+        comm = other if ctx.rank == 1 else ctx.WORLD
+        yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.DOUBLE, ctx.SUM, comm)
+
+    with pytest.raises(DeadlockError):
+        run_app(app, 4, step_budget=100_000)
+
+
+def test_diverged_invocation_counts_deadlock():
+    """A rank that skips one collective can never re-synchronise (the
+    per-comm sequence numbers diverge)."""
+
+    def app(ctx):
+        s = ctx.alloc(1, ctx.DOUBLE)
+        r = ctx.alloc(1, ctx.DOUBLE)
+        if ctx.rank != 0:
+            yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+        yield from ctx.Barrier(ctx.WORLD)
+
+    with pytest.raises(DeadlockError):
+        run_app(app, 3, step_budget=100_000)
+
+
+def test_moderately_corrupted_count_heap_smashes():
+    """A slightly-too-large count on the root reads past its buffer into
+    a neighbouring allocation — silent corruption, not a crash."""
+
+    def app(ctx):
+        src = ctx.alloc(4, ctx.LONG)
+        neighbour = ctx.alloc(4, ctx.LONG)
+        dst = ctx.alloc(8, ctx.LONG)
+        src.view[:] = [1, 2, 3, 4]
+        neighbour.view[:] = [100, 200, 300, 400]
+        count = 8 if ctx.rank == 0 else 8  # root sends 8, incl. neighbour
+        yield from ctx.Bcast(
+            (src if ctx.rank == 0 else dst).addr, count, ctx.LONG, 0, ctx.WORLD
+        )
+        return list(dst.view) if ctx.rank != 0 else None
+
+    results = run_app(app, 2).results
+    leaked = results[1]
+    assert leaked[:4] == [1, 2, 3, 4]
+    # Alignment padding puts the neighbour right after src: data leaks.
+    assert 100 in leaked or 0 in leaked
+
+
+def test_recv_overflow_within_arena_corrupts_silently():
+    """A receiver whose local count is oversized writes past its buffer
+    into a neighbour (heap smash), corrupting unrelated data."""
+
+    def app(ctx):
+        dst = ctx.alloc(2, ctx.LONG)
+        victim = ctx.alloc(2, ctx.LONG)
+        victim.view[:] = [7, 7]
+        src = ctx.alloc(8, ctx.LONG)
+        src.view[:] = range(8)
+        if ctx.rank == 0:
+            yield from ctx.Bcast(src.addr, 8, ctx.LONG, 0, ctx.WORLD)
+        else:
+            yield from ctx.Bcast(dst.addr, 8, ctx.LONG, 0, ctx.WORLD)
+        return list(victim.view)
+
+    results = run_app(app, 2).results
+    assert results[1] != [7, 7]  # victim was overwritten
+
+
+def test_dtype_aliasing_changes_element_size():
+    """A datatype handle aliased to a *different valid* datatype changes
+    the message size: the peers disagree and the receiver truncates."""
+
+    def app(ctx):
+        b = ctx.alloc(8, ctx.DOUBLE)
+        dt = ctx.DOUBLE if ctx.rank == 0 else ctx.FLOAT
+        yield from ctx.Bcast(b.addr, 8, dt, 0, ctx.WORLD)
+
+    with pytest.raises(MPIError) as exc:
+        run_app(app, 2)
+    assert exc.value.errclass == "MPI_ERR_TRUNCATE"
+
+
+def test_oob_displacement_segfaults():
+    import numpy as np
+
+    def app(ctx):
+        n = ctx.size
+        s = ctx.alloc(n, ctx.INT)
+        r = ctx.alloc(n, ctx.INT)
+        counts = np.ones(n, dtype=np.int64)
+        displs = np.arange(n, dtype=np.int64)
+        if ctx.rank == 0:
+            displs[1] = 1 << 50  # corrupted displacement
+        yield from ctx.Alltoallv(s.addr, counts, displs, r.addr, counts, displs, ctx.INT, ctx.WORLD)
+
+    with pytest.raises(SegmentationFault):
+        run_app(app, 4)

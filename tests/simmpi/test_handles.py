@@ -1,0 +1,63 @@
+"""Pointer-like handle space tests."""
+
+import pytest
+
+from repro.simmpi.errors import MPIError, SegmentationFault
+from repro.simmpi.handles import OBJECT_EXTENT, HandleSpace
+
+
+@pytest.fixture()
+def space():
+    s = HandleSpace("op", base=0x1000)
+    s.register("first")
+    s.register("second")
+    return s
+
+
+def test_register_and_resolve(space):
+    handles = space.handles()
+    assert space.resolve(handles[0]) == "first"
+    assert space.resolve(handles[1]) == "second"
+
+
+def test_len_and_objects(space):
+    assert len(space) == 2
+    assert space.objects() == ["first", "second"]
+
+
+def test_adjacent_objects_one_bit_apart(space):
+    h0, h1 = space.handles()
+    assert h1 - h0 == OBJECT_EXTENT
+    # OBJECT_EXTENT is a power of two, so when the low bits of h0 are
+    # clear the pair differs in a single bit — the aliasing channel.
+    assert bin(h0 ^ h1).count("1") == 1
+
+
+def test_interior_offset_is_mpi_err(space):
+    h0 = space.handles()[0]
+    with pytest.raises(MPIError) as exc:
+        space.resolve(h0 + 4)
+    assert exc.value.errclass == "MPI_ERR_OP"
+
+
+def test_far_pointer_is_segfault(space):
+    with pytest.raises(SegmentationFault):
+        space.resolve(0xDEAD0000)
+
+
+def test_below_base_is_segfault(space):
+    with pytest.raises(SegmentationFault):
+        space.resolve(0x1000 - OBJECT_EXTENT)
+
+
+def test_contains(space):
+    h0 = space.handles()[0]
+    assert space.contains(h0)
+    assert not space.contains(h0 + 1)
+
+
+def test_rank_attached_to_errors(space):
+    h0 = space.handles()[0]
+    with pytest.raises(MPIError) as exc:
+        space.resolve(h0 + 4, rank=3)
+    assert exc.value.rank == 3

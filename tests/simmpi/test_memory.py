@@ -1,0 +1,108 @@
+"""Simulated-memory unit and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi.datatypes import make_datatype_space
+from repro.simmpi.errors import SegmentationFault
+from repro.simmpi.memory import ARENA_BASE, Memory
+
+
+@pytest.fixture()
+def mem():
+    return Memory(rank=0, size=1 << 16)
+
+
+@pytest.fixture()
+def double():
+    reg, names = make_datatype_space()
+    return reg.resolve(names["MPI_DOUBLE"])
+
+
+def test_alloc_and_rw_roundtrip(mem):
+    seg = mem.alloc(64, "buf")
+    mem.write(seg.addr, bytes(range(64)))
+    assert mem.read(seg.addr, 64) == bytes(range(64))
+
+
+def test_alloc_alignment(mem):
+    a = mem.alloc(3)
+    b = mem.alloc(5)
+    assert b.addr % 16 == 0
+    assert b.addr >= a.end
+
+
+def test_read_out_of_arena_segfaults(mem):
+    with pytest.raises(SegmentationFault):
+        mem.read(ARENA_BASE + (1 << 16), 8)
+    with pytest.raises(SegmentationFault):
+        mem.read(ARENA_BASE - 8, 8)
+
+
+def test_negative_length_segfaults(mem):
+    with pytest.raises(SegmentationFault):
+        mem.read(ARENA_BASE, -1)
+
+
+def test_huge_read_segfaults_without_allocating(mem):
+    with pytest.raises(SegmentationFault):
+        mem.read(ARENA_BASE, 1 << 60)
+
+
+def test_heap_smash_corrupts_neighbour(mem):
+    a = mem.alloc(16, "a")
+    b = mem.alloc(16, "b")
+    mem.write(b.addr, b"\x00" * 16)
+    # Overrun a into b: within the arena, so it silently succeeds.
+    gap = b.addr - a.addr
+    mem.write(a.addr, b"\xff" * (gap + 4))
+    assert mem.read(b.addr, 4) == b"\xff" * 4
+
+
+def test_arena_exhaustion_raises_memoryerror(mem):
+    with pytest.raises(MemoryError):
+        mem.alloc((1 << 16) + 1)
+
+
+def test_array_view_is_live(mem, double):
+    ref = mem.alloc_array(8, double, "arr")
+    ref.view[:] = np.arange(8)
+    raw = np.frombuffer(mem.read(ref.addr, 64), dtype=np.float64)
+    assert list(raw) == list(range(8))
+
+
+def test_segment_of(mem):
+    seg = mem.alloc(32, "x")
+    assert mem.segment_of(seg.addr) == seg
+    assert mem.segment_of(seg.addr + 31) == seg
+    assert mem.segment_of(seg.addr + 64) is None
+
+
+def test_flip_bit_flips_exactly_one_bit(mem):
+    seg = mem.alloc(4)
+    mem.write(seg.addr, b"\x00\x00\x00\x00")
+    mem.flip_bit(seg.addr, 11)  # byte 1, bit 3
+    data = mem.read(seg.addr, 4)
+    assert data == bytes([0, 8, 0, 0])
+
+
+def test_flip_bit_out_of_arena_segfaults(mem):
+    with pytest.raises(SegmentationFault):
+        mem.flip_bit(ARENA_BASE + (1 << 16), 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    offset=st.integers(min_value=0, max_value=255),
+    bit=st.integers(min_value=0, max_value=2047),
+)
+def test_double_flip_restores(offset, bit):
+    mem = Memory(rank=0, size=4096)
+    seg = mem.alloc(256 + 64)
+    original = bytes((i * 37 + offset) % 256 for i in range(256))
+    mem.write(seg.addr, original)
+    mem.flip_bit(seg.addr, bit)
+    mem.flip_bit(seg.addr, bit)
+    assert mem.read(seg.addr, 256) == original

@@ -1,0 +1,87 @@
+"""Nonblocking point-to-point (Isend/Irecv/Wait/Waitall) tests."""
+
+import pytest
+
+from repro.simmpi import MPIError, Request, run_app
+
+
+def test_isend_completes_immediately():
+    def app(ctx):
+        buf = ctx.alloc(2, ctx.INT)
+        if ctx.rank == 0:
+            buf.view[:] = [1, 2]
+            req = yield from ctx.Isend(buf.addr, 2, ctx.INT, 1, 0, ctx.WORLD)
+            assert req.complete and req.is_send
+            return None
+        r = ctx.alloc(2, ctx.INT)
+        yield from ctx.Recv(r.addr, 2, ctx.INT, 0, 0, ctx.WORLD)
+        return list(r.view)
+
+    assert run_app(app, 2).results[1] == [1, 2]
+
+
+def test_irecv_wait_roundtrip():
+    def app(ctx):
+        s = ctx.alloc(3, ctx.DOUBLE)
+        r = ctx.alloc(3, ctx.DOUBLE)
+        s.view[:] = [ctx.rank, ctx.rank + 0.5, -1.0]
+        peer = (ctx.rank + 1) % ctx.size
+        src = (ctx.rank - 1) % ctx.size
+        req = ctx.Irecv(r.addr, 3, ctx.DOUBLE, src, 4, ctx.WORLD)
+        assert isinstance(req, Request) and not req.complete
+        yield from ctx.Send(s.addr, 3, ctx.DOUBLE, peer, 4, ctx.WORLD)
+        n = yield from ctx.Wait(req)
+        assert n == 3 and req.complete
+        return float(r.view[0])
+
+    results = run_app(app, 4).results
+    assert results == [3.0, 0.0, 1.0, 2.0]
+
+
+def test_wait_is_idempotent():
+    def app(ctx):
+        s = ctx.alloc(1, ctx.INT)
+        r = ctx.alloc(1, ctx.INT)
+        s.view[0] = 7
+        if ctx.rank == 0:
+            yield from ctx.Send(s.addr, 1, ctx.INT, 1, 0, ctx.WORLD)
+            return 0
+        req = ctx.Irecv(r.addr, 1, ctx.INT, 0, 0, ctx.WORLD)
+        a = yield from ctx.Wait(req)
+        b = yield from ctx.Wait(req)  # second wait: no further recv
+        return (a, b, int(r.view[0]))
+
+    assert run_app(app, 2).results[1] == (1, 1, 7)
+
+
+def test_waitall_multiple_sources():
+    def app(ctx):
+        if ctx.rank == 0:
+            bufs = [ctx.alloc(1, ctx.INT) for _ in range(ctx.size - 1)]
+            reqs = [
+                ctx.Irecv(bufs[i].addr, 1, ctx.INT, i + 1, 9, ctx.WORLD)
+                for i in range(ctx.size - 1)
+            ]
+            counts = yield from ctx.Waitall(reqs)
+            assert counts == [1] * (ctx.size - 1)
+            return [int(b.view[0]) for b in bufs]
+        s = ctx.alloc(1, ctx.INT)
+        s.view[0] = ctx.rank * 11
+        yield from ctx.Send(s.addr, 1, ctx.INT, 0, 9, ctx.WORLD)
+        return None
+
+    assert run_app(app, 4).results[0] == [11, 22, 33]
+
+
+def test_irecv_truncation_detected_at_wait():
+    def app(ctx):
+        buf = ctx.alloc(8, ctx.INT)
+        if ctx.rank == 0:
+            yield from ctx.Send(buf.addr, 8, ctx.INT, 1, 0, ctx.WORLD)
+            return None
+        req = ctx.Irecv(buf.addr, 2, ctx.INT, 0, 0, ctx.WORLD)
+        yield from ctx.Wait(req)
+
+    with pytest.raises(MPIError) as exc:
+        run_app(app, 2)
+    assert exc.value.errclass == "MPI_ERR_TRUNCATE"

@@ -1,0 +1,65 @@
+"""Reduction-op registry unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.datatypes import make_datatype_space
+from repro.simmpi.errors import MPIError
+from repro.simmpi.ops import make_op_space
+
+
+@pytest.fixture()
+def env():
+    ops, op_names = make_op_space()
+    types, type_names = make_datatype_space()
+    return ops, op_names, types, type_names
+
+
+def _apply(env, op_name, a, b, dtype_name="MPI_DOUBLE"):
+    ops, op_names, types, type_names = env
+    op = ops.resolve(op_names[op_name])
+    dt = types.resolve(type_names[dtype_name])
+    av = np.asarray(a, dtype=dt.np_dtype)
+    bv = np.asarray(b, dtype=dt.np_dtype)
+    out = op.apply(av.tobytes(), bv.tobytes(), dt)
+    return np.frombuffer(out, dtype=dt.np_dtype)
+
+
+def test_sum(env):
+    assert list(_apply(env, "MPI_SUM", [1.0, 2.0], [3.0, 4.0])) == [4.0, 6.0]
+
+
+def test_prod(env):
+    assert list(_apply(env, "MPI_PROD", [2.0, 3.0], [4.0, 5.0])) == [8.0, 15.0]
+
+
+def test_max_min(env):
+    assert list(_apply(env, "MPI_MAX", [1.0, 9.0], [5.0, 2.0])) == [5.0, 9.0]
+    assert list(_apply(env, "MPI_MIN", [1.0, 9.0], [5.0, 2.0])) == [1.0, 2.0]
+
+
+def test_logical_ops_on_ints(env):
+    assert list(_apply(env, "MPI_LAND", [1, 0, 2], [1, 1, 0], "MPI_INT")) == [1, 0, 0]
+    assert list(_apply(env, "MPI_LOR", [1, 0, 0], [0, 0, 2], "MPI_INT")) == [1, 0, 1]
+
+
+def test_bitwise_ops_on_ints(env):
+    assert list(_apply(env, "MPI_BAND", [0b110], [0b011], "MPI_INT")) == [0b010]
+    assert list(_apply(env, "MPI_BOR", [0b110], [0b011], "MPI_INT")) == [0b111]
+    assert list(_apply(env, "MPI_BXOR", [0b110], [0b011], "MPI_INT")) == [0b101]
+
+
+def test_bitwise_on_float_is_mpi_err(env):
+    with pytest.raises(MPIError) as exc:
+        _apply(env, "MPI_BAND", [1.0], [2.0], "MPI_DOUBLE")
+    assert "MPI_ERR_OP" in str(exc.value)
+
+
+def test_mismatched_lengths_truncate_to_min(env):
+    out = _apply(env, "MPI_SUM", [1.0, 2.0, 3.0], [10.0])
+    assert list(out) == [11.0]
+
+
+def test_sum_on_complex(env):
+    out = _apply(env, "MPI_SUM", [1 + 2j], [3 + 4j], "MPI_DOUBLE_COMPLEX")
+    assert out[0] == 4 + 6j

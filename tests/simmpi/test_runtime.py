@@ -1,0 +1,69 @@
+"""Runtime-level tests: determinism, single-use, budgets."""
+
+import pytest
+
+from repro.simmpi import SimMPI, StepBudgetExceeded, run_app
+
+
+def simple_app(ctx):
+    s = ctx.alloc(4, ctx.DOUBLE)
+    r = ctx.alloc(4, ctx.DOUBLE)
+    s.view[:] = [ctx.rank] * 4
+    yield from ctx.Allreduce(s.addr, r.addr, 4, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+    return list(r.view)
+
+
+def test_run_returns_per_rank_results():
+    res = run_app(simple_app, 4)
+    assert len(res.results) == 4
+    assert res.results[0] == [6.0] * 4
+
+
+def test_runs_are_deterministic():
+    a = run_app(simple_app, 4)
+    b = run_app(simple_app, 4)
+    assert a.results == b.results
+    assert a.steps == b.steps
+
+
+def test_runtime_is_single_use():
+    rt = SimMPI(2)
+    rt.run(simple_app)
+    with pytest.raises(RuntimeError):
+        rt.run(simple_app)
+
+
+def test_zero_ranks_rejected():
+    with pytest.raises(ValueError):
+        SimMPI(0)
+
+
+def test_step_budget_enforced():
+    def spinner(ctx):
+        while True:
+            yield from ctx.progress()
+
+    with pytest.raises(StepBudgetExceeded):
+        run_app(spinner, 1, step_budget=500)
+
+
+def test_handle_layout_identical_across_runtimes():
+    """Golden and injected runs must see the same handle values."""
+    a = SimMPI(4)
+    b = SimMPI(4)
+    assert a.type_handles == b.type_handles
+    assert a.op_handles == b.op_handles
+    assert a.world_handle == b.world_handle
+
+
+def test_contexts_expose_named_handles():
+    rt = SimMPI(2)
+
+    def app(ctx):
+        assert ctx.DOUBLE in ctx.runtime.type_handles.values()
+        assert ctx.SUM in ctx.runtime.op_handles.values()
+        assert ctx.WORLD == ctx.runtime.world_handle
+        yield from ctx.Barrier(ctx.WORLD)
+        return True
+
+    assert all(rt.run(app).results)

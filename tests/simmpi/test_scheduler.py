@@ -1,0 +1,135 @@
+"""Scheduler, fiber, and message-matching tests."""
+
+import pytest
+
+from repro.simmpi.errors import DeadlockError, FiberCrashed, StepBudgetExceeded
+from repro.simmpi.fiber import Fiber, Progress, Recv, Send
+from repro.simmpi.scheduler import Scheduler
+
+
+def make_fibers(*gen_fns):
+    return [Fiber(i, fn()) for i, fn in enumerate(gen_fns)]
+
+
+def test_simple_send_recv():
+    def sender():
+        yield Send(1, 0, 1, 0, b"hello")
+        return "sent"
+
+    def receiver():
+        payload = yield Recv(1, 0, 1, 0)
+        return payload
+
+    results = Scheduler(make_fibers(sender, receiver)).run()
+    assert results == ["sent", b"hello"]
+
+
+def test_recv_before_send_blocks_then_resumes():
+    def receiver():
+        payload = yield Recv(1, 1, 0, 0)
+        return payload
+
+    def sender():
+        yield Progress()
+        yield Progress()
+        yield Send(1, 1, 0, 0, b"late")
+        return None
+
+    results = Scheduler(make_fibers(receiver, sender)).run()
+    assert results[0] == b"late"
+
+
+def test_fifo_ordering_per_match_key():
+    def sender():
+        yield Send(1, 0, 1, 5, b"first")
+        yield Send(1, 0, 1, 5, b"second")
+        return None
+
+    def receiver():
+        a = yield Recv(1, 0, 1, 5)
+        b = yield Recv(1, 0, 1, 5)
+        return (a, b)
+
+    results = Scheduler(make_fibers(sender, receiver)).run()
+    assert results[1] == (b"first", b"second")
+
+
+def test_tag_mismatch_deadlocks():
+    def sender():
+        yield Send(1, 0, 1, 1, b"x")
+        return None
+
+    def receiver():
+        yield Recv(1, 0, 1, 2)  # wrong tag: never satisfied
+
+    with pytest.raises(DeadlockError) as exc:
+        Scheduler(make_fibers(sender, receiver)).run()
+    assert 1 in exc.value.blocked
+
+
+def test_context_isolation():
+    """The same (src, dst, tag) in a different context never matches."""
+
+    def sender():
+        yield Send(99, 0, 1, 0, b"other context")
+        return None
+
+    def receiver():
+        yield Recv(1, 0, 1, 0)
+
+    with pytest.raises(DeadlockError):
+        Scheduler(make_fibers(sender, receiver)).run()
+
+
+def test_step_budget_exceeded():
+    def spinner():
+        while True:
+            yield Progress()
+
+    with pytest.raises(StepBudgetExceeded):
+        Scheduler(make_fibers(spinner), step_budget=100).run()
+
+
+def test_progress_weight_counts():
+    def heavy():
+        yield Progress(weight=1000)
+        return None
+
+    with pytest.raises(StepBudgetExceeded):
+        Scheduler(make_fibers(heavy), step_budget=10).run()
+
+
+def test_crash_wrapped_as_fibercrashed():
+    def crasher():
+        yield Progress()
+        raise ValueError("boom")
+
+    with pytest.raises(FiberCrashed) as exc:
+        Scheduler(make_fibers(crasher)).run()
+    assert isinstance(exc.value.original, ValueError)
+    assert exc.value.rank == 0
+
+
+def test_round_robin_determinism():
+    trace = []
+
+    def make(tagged):
+        def fn():
+            trace.append(tagged)
+            yield Progress()
+            trace.append(tagged)
+            return tagged
+
+        return fn
+
+    Scheduler(make_fibers(make("a"), make("b"), make("c"))).run()
+    assert trace == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_empty_results_for_immediate_return():
+    def quick():
+        return 42
+        yield  # pragma: no cover - makes it a generator
+
+    results = Scheduler(make_fibers(quick)).run()
+    assert results == [42]

@@ -1,0 +1,130 @@
+"""Property-based scheduler tests: random message programs.
+
+The scheduler's contract: any program whose sends and receives form a
+perfect matching per (context, src, dst, tag) key completes; any
+unmatched receive deadlocks deterministically.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import DeadlockError, run_app
+from repro.simmpi.fiber import Fiber, Progress, Recv, Send
+from repro.simmpi.scheduler import Scheduler
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(
+    nranks=st.integers(min_value=2, max_value=8),
+    rounds=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_random_permutation_exchanges_complete(nranks, rounds, seed):
+    """Each round, ranks exchange along a random permutation: every
+    send has exactly one matching recv, so the program must complete."""
+    rng = np.random.default_rng(seed)
+    perms = [rng.permutation(nranks) for _ in range(rounds)]
+
+    def make(rank):
+        def fiber():
+            for rnd, perm in enumerate(perms):
+                dst = int(perm[rank])
+                src = int(np.argwhere(perm == rank)[0][0])
+                yield Send(1, rank, dst, rnd, bytes([rank]))
+                payload = yield Recv(1, src, rank, rnd)
+                assert payload == bytes([src])
+            return rank
+
+        return fiber
+
+    fibers = [Fiber(r, make(r)()) for r in range(nranks)]
+    results = Scheduler(fibers).run()
+    assert results == list(range(nranks))
+
+
+@settings(**SETTINGS)
+@given(
+    nranks=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_one_missing_send_always_deadlocks(nranks, seed):
+    """Dropping a single send from a perfect matching must deadlock."""
+    rng = np.random.default_rng(seed)
+    dropped = int(rng.integers(0, nranks))
+
+    def make(rank):
+        def fiber():
+            dst = (rank + 1) % nranks
+            src = (rank - 1) % nranks
+            if rank != dropped:
+                yield Send(1, rank, dst, 0, b"x")
+            yield Recv(1, src, rank, 0)
+
+        return fiber
+
+    fibers = [Fiber(r, make(r)()) for r in range(nranks)]
+    try:
+        Scheduler(fibers).run()
+        raised = False
+    except DeadlockError as exc:
+        raised = True
+        # The starved receiver is the dropped rank's right neighbour.
+        assert (dropped + 1) % nranks in exc.blocked
+    assert raised
+
+
+@settings(**SETTINGS)
+@given(
+    nranks=st.integers(min_value=1, max_value=8),
+    weights=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=8),
+)
+def test_step_accounting_exact(nranks, weights):
+    """The scheduler's step counter equals the total yielded weight."""
+
+    def app(ctx):
+        for w in weights:
+            yield from ctx.progress(w)
+        return True
+
+    res = run_app(app, nranks)
+    assert res.steps == nranks * sum(weights)
+
+
+@settings(**SETTINGS)
+@given(
+    nranks=st.integers(min_value=2, max_value=8),
+    nmsgs=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_fifo_order_preserved_under_interleaving(nranks, nmsgs, seed):
+    """Messages between one pair arrive in send order regardless of how
+    other ranks' traffic interleaves."""
+    rng = np.random.default_rng(seed)
+    noise = int(rng.integers(0, 5))
+
+    def make(rank):
+        def fiber():
+            if rank == 0:
+                for i in range(nmsgs):
+                    for _ in range(noise):
+                        yield Progress()
+                    yield Send(1, 0, 1, 3, i.to_bytes(2, "little"))
+                return None
+            if rank == 1:
+                seen = []
+                for _ in range(nmsgs):
+                    payload = yield Recv(1, 0, 1, 3)
+                    seen.append(int.from_bytes(payload, "little"))
+                return seen
+            for _ in range(noise):
+                yield Progress()
+            return None
+
+        return fiber
+
+    fibers = [Fiber(r, make(r)()) for r in range(nranks)]
+    results = Scheduler(fibers).run()
+    assert results[1] == list(range(nmsgs))

@@ -1,0 +1,118 @@
+"""Parameter-validation (MPI_ERR surface) tests."""
+
+import pytest
+
+from repro.simmpi import MPIError, SegmentationFault, run_app
+
+
+def run1(app_fn, nranks=2):
+    return run_app(app_fn, nranks)
+
+
+def test_negative_count_is_mpi_err():
+    def app(ctx):
+        b = ctx.alloc(4, ctx.DOUBLE)
+        yield from ctx.Bcast(b.addr, -1, ctx.DOUBLE, 0, ctx.WORLD)
+
+    with pytest.raises(MPIError) as exc:
+        run1(app)
+    assert exc.value.errclass == "MPI_ERR_COUNT"
+
+
+def test_root_out_of_range_is_mpi_err():
+    def app(ctx):
+        b = ctx.alloc(4, ctx.DOUBLE)
+        yield from ctx.Bcast(b.addr, 4, ctx.DOUBLE, 9, ctx.WORLD)
+
+    with pytest.raises(MPIError) as exc:
+        run1(app)
+    assert exc.value.errclass == "MPI_ERR_ROOT"
+
+
+def test_negative_root_is_mpi_err():
+    def app(ctx):
+        b = ctx.alloc(4, ctx.DOUBLE)
+        yield from ctx.Bcast(b.addr, 4, ctx.DOUBLE, -1, ctx.WORLD)
+
+    with pytest.raises(MPIError):
+        run1(app)
+
+
+def test_corrupted_datatype_inside_object_is_mpi_err():
+    def app(ctx):
+        b = ctx.alloc(4, ctx.DOUBLE)
+        yield from ctx.Bcast(b.addr, 4, ctx.DOUBLE + 8, 0, ctx.WORLD)
+
+    with pytest.raises(MPIError) as exc:
+        run1(app)
+    assert "TYPE" in exc.value.errclass
+
+
+def test_wild_datatype_pointer_is_segfault():
+    def app(ctx):
+        b = ctx.alloc(4, ctx.DOUBLE)
+        yield from ctx.Bcast(b.addr, 4, ctx.DOUBLE ^ (1 << 45), 0, ctx.WORLD)
+
+    with pytest.raises(SegmentationFault):
+        run1(app)
+
+
+def test_wild_comm_pointer_is_segfault():
+    def app(ctx):
+        b = ctx.alloc(4, ctx.DOUBLE)
+        yield from ctx.Bcast(b.addr, 4, ctx.DOUBLE, 0, ctx.WORLD ^ (1 << 44))
+
+    with pytest.raises(SegmentationFault):
+        run1(app)
+
+
+def test_invalid_op_is_mpi_err_or_segfault():
+    def app(ctx):
+        s = ctx.alloc(1, ctx.DOUBLE)
+        r = ctx.alloc(1, ctx.DOUBLE)
+        yield from ctx.Allreduce(s.addr, r.addr, 1, ctx.DOUBLE, ctx.SUM + 16, ctx.WORLD)
+
+    with pytest.raises(MPIError):
+        run1(app)
+
+
+def test_negative_vector_count_is_mpi_err():
+    import numpy as np
+
+    def app(ctx):
+        n = ctx.size
+        s = ctx.alloc(n, ctx.INT)
+        r = ctx.alloc(n, ctx.INT)
+        counts = np.ones(n, dtype=np.int64)
+        counts[0] = -5
+        displs = np.arange(n, dtype=np.int64)
+        yield from ctx.Alltoallv(s.addr, counts, displs, r.addr, counts, displs, ctx.INT, ctx.WORLD)
+
+    with pytest.raises(MPIError) as exc:
+        run1(app)
+    assert exc.value.errclass == "MPI_ERR_COUNT"
+
+
+def test_oversized_count_is_segfault_not_mpi_err():
+    """Huge positive counts pass validation and die in memory access —
+    the mechanism behind the paper's SEG_FAULT-heavy count faults."""
+
+    def app(ctx):
+        b = ctx.alloc(4, ctx.DOUBLE)
+        yield from ctx.Bcast(b.addr, 1 << 40, ctx.DOUBLE, 0, ctx.WORLD)
+
+    with pytest.raises(SegmentationFault):
+        run1(app)
+
+
+def test_truncation_is_mpi_err():
+    """Receiver's buffer smaller than the incoming message."""
+
+    def app(ctx):
+        b = ctx.alloc(16, ctx.DOUBLE)
+        count = 16 if ctx.rank == 0 else 2
+        yield from ctx.Bcast(b.addr, count, ctx.DOUBLE, 0, ctx.WORLD)
+
+    with pytest.raises(MPIError) as exc:
+        run1(app)
+    assert exc.value.errclass == "MPI_ERR_TRUNCATE"

@@ -1,0 +1,116 @@
+"""CLI tests (the ``fastfit`` entry point)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_apps_lists_all_workloads(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    for name in ("is", "ft", "mg", "lu", "lammps"):
+        assert name in out
+    assert "class" in out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "--app", "lu", "--problem-class", "T"]) == 0
+    out = capsys.readouterr().out
+    assert "injection points" in out
+    assert "collective mix" in out
+    assert "Allreduce" in out
+
+
+def test_prune_command(capsys):
+    assert main(["prune", "--app", "ft", "--problem-class", "T"]) == 0
+    out = capsys.readouterr().out
+    assert "MPI (semantic)" in out
+    assert "%" in out
+
+
+def test_campaign_command(capsys):
+    assert (
+        main(
+            [
+                "campaign",
+                "--app",
+                "lu",
+                "--problem-class",
+                "T",
+                "--tests",
+                "3",
+                "--max-points",
+                "4",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "response types" in out
+    assert "SUCCESS" in out
+    assert "error-rate levels" in out
+
+
+def test_learn_command(capsys):
+    assert (
+        main(
+            [
+                "learn",
+                "--app",
+                "lu",
+                "--problem-class",
+                "T",
+                "--tests",
+                "3",
+                "--threshold",
+                "0.3",
+                "--batch-size",
+                "4",
+                "--policy",
+                "all",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "tested" in out and "predicted" in out
+
+
+def test_study_command_no_ml(capsys):
+    assert (
+        main(
+            [
+                "study",
+                "--app",
+                "mg",
+                "--problem-class",
+                "T",
+                "--tests",
+                "2",
+                "--no-ml",
+                "--policy",
+                "buffer",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Total" in out
+    assert "NA" in out
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["profile", "--app", "hpl"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for cmd in ("apps", "profile", "prune", "campaign", "learn", "study"):
+        assert cmd in text

@@ -1,0 +1,55 @@
+"""FastFIT facade integration tests."""
+
+import pytest
+
+from repro import FastFIT
+
+
+@pytest.fixture(scope="module")
+def ff(lu_app):
+    return FastFIT(lu_app, seed=1, tests_per_point=6, param_policy="all")
+
+
+def test_profile_cached(ff):
+    assert ff.profile() is ff.profile()
+
+
+def test_prune_report(ff):
+    rep = ff.prune()
+    assert rep.total_points > 0
+    assert 0 <= rep.semantic_reduction < 1
+    assert 0 <= rep.context_reduction < 1
+    assert rep.combined_reduction >= max(0.0, rep.semantic_reduction)
+    assert len(rep.representative_points) <= rep.total_points
+
+
+def test_for_app_constructor():
+    ff2 = FastFIT.for_app("mg", "T", tests_per_point=2)
+    assert ff2.app.name == "mg"
+
+
+def test_run_without_ml(ff):
+    report = ff.run(threshold=None)
+    assert report.ml is None
+    assert report.campaign is not None
+    row = report.table3_row()
+    assert row["ML"] is None
+    assert 0 <= row["Total"] <= 1
+    assert "NA" in report.describe()
+
+
+def test_run_with_ml(lu_app):
+    ff = FastFIT(lu_app, seed=2, tests_per_point=4, param_policy="all")
+    report = ff.run(threshold=0.4, batch_size=4)
+    assert report.ml is not None
+    row = report.table3_row()
+    assert row["ML"] is not None
+    # Total reduction must dominate the static pruning when ML skips tests.
+    assert row["Total"] >= report.pruning.combined_reduction - 1e-9
+    assert "lu" in report.describe()
+
+
+def test_campaign_over_custom_points(ff):
+    points = ff.prune().representative_points[:3]
+    result = ff.campaign(points=points, tests_per_point=3)
+    assert len(result.points) == 3
