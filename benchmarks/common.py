@@ -43,13 +43,21 @@ def _cached(key: str, build):
     CACHE_DIR.mkdir(exist_ok=True)
     digest = hashlib.sha1(key.encode()).hexdigest()[:16]
     path = CACHE_DIR / f"{digest}.pkl"
+    value = None
     if path.exists():
-        with path.open("rb") as fh:
-            value = pickle.load(fh)
-    else:
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            # A truncated pickle (interrupted run) must not wedge the
+            # whole harness — rebuild it.
+            value = None
+    if value is None:
         value = build()
-        with path.open("wb") as fh:
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as fh:
             pickle.dump(value, fh)
+        tmp.replace(path)
     _memory[key] = value
     return value
 
@@ -109,6 +117,28 @@ def full_space_size(name: str, problem_class: str | None = None) -> int:
     return len(enumerate_points(get_profile(name, problem_class)))
 
 
-def once(benchmark, fn):
-    """Benchmark an expensive step exactly once (no warmup rounds)."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+def _count_tests(value) -> int:
+    """Injection tests inside a benchmark's return value, recursively."""
+    if isinstance(value, CampaignResult):
+        return len(value.all_tests())
+    if isinstance(value, dict):
+        return sum(_count_tests(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return sum(_count_tests(v) for v in value)
+    return 0
+
+
+def once(benchmark, fn, n_tests: int | None = None):
+    """Benchmark an expensive step exactly once (no warmup rounds).
+
+    Annotates the run with how many injection tests the step performed —
+    passed explicitly via ``n_tests``, or counted from any
+    ``CampaignResult`` objects in the return value.  The JSON hook in
+    ``conftest.py`` turns the count into ``tests_per_sec`` in the
+    emitted benchmark JSON.
+    """
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    tests = n_tests if n_tests is not None else _count_tests(result)
+    if tests:
+        benchmark.extra_info["n_tests"] = int(tests)
+    return result

@@ -7,10 +7,11 @@ Public entry points:
 * :mod:`repro.simmpi` — the simulated MPI substrate;
 * :mod:`repro.apps` — the NPB-shaped kernels and mini-LAMMPS workloads;
 * :mod:`repro.profiling`, :mod:`repro.injection`, :mod:`repro.pruning`,
-  :mod:`repro.ml`, :mod:`repro.analysis` — the component layers.
+  :mod:`repro.ml`, :mod:`repro.analysis` — the component layers;
+* :mod:`repro.obs` — tracing, metrics, and failure forensics.
 """
 
-from . import analysis, apps, injection, ml, profiling, pruning, simmpi
+from . import analysis, apps, injection, ml, obs, profiling, pruning, simmpi
 from .fastfit import FastFIT, FastFITReport, PruningReport
 
 __version__ = "1.0.0"
@@ -23,6 +24,7 @@ __all__ = [
     "apps",
     "injection",
     "ml",
+    "obs",
     "profiling",
     "pruning",
     "simmpi",

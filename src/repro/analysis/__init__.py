@@ -6,10 +6,13 @@ from .export import (
     campaign_to_csv,
     campaign_to_dict,
     campaign_to_json,
+    metrics_to_json,
     outcome_counts_from_summary,
     point_from_dict,
     point_to_dict,
     tests_to_csv,
+    trace_from_jsonl,
+    trace_to_jsonl,
 )
 from .propagation import PropagationResult, propagation_study, tainted_ranks
 from .reports import render_bars, render_grouped_bars, render_histogram, render_table
@@ -40,6 +43,7 @@ __all__ = [
     "campaign_to_json",
     "convergence_trace",
     "level_stability",
+    "metrics_to_json",
     "outcome_counts_from_summary",
     "point_from_dict",
     "point_to_dict",
@@ -47,6 +51,8 @@ __all__ = [
     "required_tests",
     "tainted_ranks",
     "tests_to_csv",
+    "trace_from_jsonl",
+    "trace_to_jsonl",
     "wilson_interval",
     "EVEN_3_LEVELS",
     "GaussianFit",

@@ -15,6 +15,8 @@ from typing import Any
 from ..injection.campaign import CampaignResult, PointResult
 from ..injection.outcome import OUTCOME_ORDER, Outcome
 from ..injection.space import InjectionPoint
+from ..obs.events import TraceEvent
+from ..obs.metrics import MetricsRegistry
 
 
 def point_to_dict(point: InjectionPoint) -> dict[str, Any]:
@@ -34,7 +36,8 @@ def point_from_dict(data: dict[str, Any]) -> InjectionPoint:
 
 def campaign_to_dict(campaign: CampaignResult) -> dict[str, Any]:
     """A JSON-ready representation of a campaign (per-point outcome
-    histograms; individual test records are summarised, not dumped)."""
+    histograms plus one representative failure detail per outcome;
+    individual test records are summarised, not dumped)."""
     return {
         "app": campaign.app_name,
         "tests_per_point": campaign.tests_per_point,
@@ -45,6 +48,9 @@ def campaign_to_dict(campaign: CampaignResult) -> dict[str, Any]:
                 "n_tests": pr.n_tests,
                 "error_rate": pr.error_rate,
                 "outcomes": {o.value: pr.outcomes.get(o, 0) for o in OUTCOME_ORDER},
+                "details": {
+                    o.value: d for o, d in sorted(pr.detail_samples().items())
+                },
             }
             for point, pr in sorted(campaign.points.items())
         ],
@@ -120,3 +126,46 @@ def outcome_counts_from_summary(data: dict[str, Any]) -> dict[Outcome, int]:
         for o in OUTCOME_ORDER:
             totals[o] += int(rec["outcomes"].get(o.value, 0))
     return totals
+
+
+# -- observability artefacts -------------------------------------------
+
+
+def trace_to_jsonl(events) -> str:
+    """Serialise trace events, one JSON object per line.
+
+    Accepts any iterable of :class:`~repro.obs.events.TraceEvent` (a
+    :class:`~repro.obs.events.Tracer` is itself iterable).
+    """
+    return "\n".join(
+        json.dumps(e.to_dict(), sort_keys=True, default=str) for e in events
+    )
+
+
+def trace_from_jsonl(text: str) -> list[TraceEvent]:
+    """Parse events serialised by :func:`trace_to_jsonl`.
+
+    Lines carrying a ``type`` field other than ``"event"`` (the meta and
+    result envelopes of ``fastfit trace --json``) are skipped, so the
+    CLI's full output stream round-trips too.
+    """
+    events: list[TraceEvent] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        if data.get("type") not in (None, "event"):
+            continue
+        data.pop("type", None)
+        seq = int(data.pop("seq"))
+        kind = data.pop("kind")
+        rank = int(data.pop("rank"))
+        events.append(TraceEvent(seq, kind, rank, data))
+    return events
+
+
+def metrics_to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """Serialise a metrics registry (counters, gauges, timers,
+    histograms) as stable JSON."""
+    return json.dumps(registry.to_dict(), indent=indent, sort_keys=True)

@@ -8,20 +8,44 @@ Usage (``python -m repro`` or the ``fastfit`` entry point)::
     fastfit campaign --app mg     --tests 20 --policy buffer
     fastfit learn    --app lammps --threshold 0.65
     fastfit study    --app lammps --threshold 0.65
+    fastfit trace    --app lu     --find-outcome INF_LOOP
+    fastfit stats    --app is     --tests 5 --max-points 8
 
 Every subcommand prints ASCII tables in the style of the paper's
-evaluation section.
+evaluation section; ``trace --json`` and ``stats --json`` emit
+machine-readable JSONL/JSON instead.  All subcommands accept ``-v`` /
+``-vv`` (info / debug diagnostics on stderr) and ``-q`` (errors only).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
-from .analysis import PAPER_3_LEVELS, level_distribution, render_bars, render_grouped_bars, render_table
+from .analysis import (
+    PAPER_3_LEVELS,
+    level_distribution,
+    metrics_to_json,
+    point_to_dict,
+    render_bars,
+    render_grouped_bars,
+    render_table,
+)
 from .apps import APPLICATIONS, make_app
 from .fastfit import FastFIT
+from .injection.campaign import Campaign
+from .injection.outcome import OUTCOME_ORDER, Outcome
+from .injection.space import FaultSpec
+from .injection.targets import all_targets, pick_target
+from .obs import (
+    DEFAULT_CAPACITY,
+    Tracer,
+    build_wait_for_graph,
+    format_event,
+    setup_logging,
+)
 
 
 def _add_app_args(p: argparse.ArgumentParser) -> None:
@@ -135,6 +159,182 @@ def cmd_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one injection test with full tracing and print/export it."""
+    ff = _tool(args)
+    points = ff.prune().representative_points
+    if not points:
+        print("no injection points for this workload", file=sys.stderr)
+        return 1
+    if not 0 <= args.point < len(points):
+        print(
+            f"--point {args.point} out of range (0..{len(points) - 1})",
+            file=sys.stderr,
+        )
+        return 2
+    point = points[args.point]
+    if args.param is not None:
+        valid = all_targets(point.collective)
+        if args.param not in valid:
+            print(
+                f"--param {args.param!r} is not a parameter of "
+                f"{point.collective} (one of: {', '.join(valid)})",
+                file=sys.stderr,
+            )
+            return 2
+    camp = Campaign(
+        ff.app,
+        ff.profile(),
+        tests_per_point=1,
+        param_policy=args.policy,
+        seed=args.seed,
+    )
+    runner = camp.runner
+
+    def spec_for(test_index: int):
+        # Rebuilding the rng from (point, test) indices replays the exact
+        # parameter pick and bit choice of any test of the campaign.
+        rng = camp._rng_for(args.point, test_index)
+        param = args.param or pick_target(rng, point.collective, args.policy)
+        return FaultSpec(point, param, args.bit), rng
+
+    test_index = args.test
+    if args.find_outcome is not None:
+        want = args.find_outcome.upper()
+        if want not in {o.name for o in OUTCOME_ORDER}:
+            print(f"unknown outcome {args.find_outcome!r}", file=sys.stderr)
+            return 2
+        found = None
+        for t in range(args.max_search):
+            spec, rng = spec_for(t)
+            if runner.run_one(spec, rng).outcome.name == want:
+                found = t
+                break
+        if found is None:
+            print(
+                f"no {want} response within {args.max_search} tests at point "
+                f"{args.point}; try another --point or raise --max-search",
+                file=sys.stderr,
+            )
+            return 1
+        test_index = found
+
+    tracer = Tracer(capacity=args.capacity)
+    spec, rng = spec_for(test_index)
+    result = runner.run_one(spec, rng, tracer=tracer)
+    graph = None
+    if result.outcome is Outcome.INF_LOOP and runner.last_exception is not None:
+        graph = build_wait_for_graph(runner.last_exception)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "type": "meta",
+                    "app": args.app,
+                    "problem_class": args.problem_class,
+                    "seed": args.seed,
+                    "test_index": test_index,
+                    "point": point_to_dict(point),
+                    "param": spec.param,
+                    "bit": spec.bit,
+                },
+                sort_keys=True,
+            )
+        )
+        for e in tracer:
+            print(json.dumps({"type": "event", **e.to_dict()}, sort_keys=True, default=str))
+        print(
+            json.dumps(
+                {
+                    "type": "result",
+                    "outcome": result.outcome.value,
+                    "detail": result.detail,
+                    "injected": result.injected,
+                    "events_emitted": tracer.emitted,
+                    "events_dropped": tracer.dropped,
+                    "wait_for": graph.to_dict() if graph is not None else None,
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
+
+    print(
+        f"trace: {args.app}/{args.problem_class} point #{args.point} "
+        f"(rank {point.rank}, {point.collective}@{point.site}#inv{point.invocation}), "
+        f"param {spec.param}, test {test_index}"
+    )
+    print(f"outcome: {result.outcome.value}")
+    if result.detail:
+        print(f"detail: {result.detail}")
+    shown = list(tracer)[: args.limit] if args.limit else list(tracer)
+    print(f"\n{tracer.emitted} events ({tracer.dropped} dropped by the ring buffer):")
+    for e in shown:
+        print("  " + format_event(e))
+    if len(shown) < len(tracer):
+        print(f"  ... {len(tracer) - len(shown)} more (raise --limit or use --json)")
+    if graph is not None:
+        print("\nwait-for graph:")
+        for line in graph.describe().splitlines():
+            print("  " + line)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run a campaign and report the collected metrics."""
+    ff = _tool(args)
+    points = ff.prune().representative_points
+    if args.max_points is not None:
+        points = points[: args.max_points]
+    campaign = ff.campaign(points=points)
+    registry = ff.metrics
+
+    if args.json:
+        print(metrics_to_json(registry))
+        return 0
+
+    data = registry.to_dict()
+    rows = [
+        [name, t["count"], f"{t['total']:.3f}", f"{t['mean']:.3f}"]
+        for name, t in sorted(data["timers"].items())
+    ]
+    print(render_table(["phase", "count", "total_s", "mean_s"], rows, title="phase timings"))
+
+    n_tests = data["counters"].get("campaign.tests", 0)
+    campaign_s = data["timers"].get("phase.campaign_s", {}).get("total", 0.0)
+    if campaign_s > 0:
+        print(f"\nthroughput: {n_tests} tests in {campaign_s:.3f}s "
+              f"({n_tests / campaign_s:.1f} tests/sec)")
+
+    print()
+    print(
+        render_bars(
+            {o.value: f for o, f in campaign.outcome_fractions().items()},
+            title=f"response types ({len(points)} points × {campaign.tests_per_point} tests)",
+        )
+    )
+
+    gauges = {k: v for k, v in sorted(data["gauges"].items()) if k.startswith("prune.")}
+    if gauges:
+        print()
+        print(
+            render_table(
+                ["metric", "value"],
+                [[k, f"{v:.4g}"] for k, v in gauges.items()],
+                title="pruning reductions",
+            )
+        )
+
+    details = campaign.detail_samples()
+    if details:
+        print("\nsample failure details:")
+        for outcome in OUTCOME_ORDER:
+            if outcome in details:
+                print(f"  {outcome.value}: {details[outcome]}")
+    return 0
+
+
 def cmd_study(args: argparse.Namespace) -> int:
     ff = _tool(args)
     threshold = None if args.no_ml else args.threshold
@@ -147,42 +347,101 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fastfit", description="Fast fault injection and sensitivity analysis"
     )
+    # Shared verbosity flags, attached to every subcommand so they can
+    # go after the command name (fastfit trace -v ...).
+    verbosity = argparse.ArgumentParser(add_help=False)
+    verbosity.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="diagnostics on stderr (-v info, -vv debug)",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true", help="errors only"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("apps", help="list registered workloads").set_defaults(fn=cmd_apps)
+    p = sub.add_parser("apps", help="list registered workloads", parents=[verbosity])
+    p.set_defaults(fn=cmd_apps)
 
-    p = sub.add_parser("profile", help="profiling phase: sites, stacks, mix")
+    p = sub.add_parser("profile", help="profiling phase: sites, stacks, mix", parents=[verbosity])
     _add_app_args(p)
     p.set_defaults(fn=cmd_profile)
 
-    p = sub.add_parser("prune", help="semantic + context pruning report")
+    p = sub.add_parser("prune", help="semantic + context pruning report", parents=[verbosity])
     _add_app_args(p)
     p.set_defaults(fn=cmd_prune)
 
-    p = sub.add_parser("campaign", help="fault-injection campaign over representatives")
+    p = sub.add_parser(
+        "campaign", help="fault-injection campaign over representatives", parents=[verbosity]
+    )
     _add_app_args(p)
     _add_campaign_args(p)
     p.set_defaults(fn=cmd_campaign)
 
-    p = sub.add_parser("learn", help="ML-driven campaign (inject → learn → predict)")
+    p = sub.add_parser(
+        "learn", help="ML-driven campaign (inject → learn → predict)", parents=[verbosity]
+    )
     _add_app_args(p)
     _add_campaign_args(p)
     p.add_argument("--threshold", type=float, default=0.65)
     p.add_argument("--batch-size", type=int, default=None)
     p.set_defaults(fn=cmd_learn)
 
-    p = sub.add_parser("study", help="full study: profile → prune → campaign/learn")
+    p = sub.add_parser(
+        "study", help="full study: profile → prune → campaign/learn", parents=[verbosity]
+    )
     _add_app_args(p)
     _add_campaign_args(p)
     p.add_argument("--threshold", type=float, default=0.65)
     p.add_argument("--no-ml", action="store_true", help="skip the ML stage (NPB-style rows)")
     p.set_defaults(fn=cmd_study)
 
+    p = sub.add_parser(
+        "trace", help="trace one injection test (events + failure forensics)",
+        parents=[verbosity],
+    )
+    _add_app_args(p)
+    p.add_argument(
+        "--point", type=int, default=0,
+        help="index into the pruned representative points (see 'prune')",
+    )
+    p.add_argument("--param", default=None, help="fault parameter (default: policy pick)")
+    p.add_argument(
+        "--policy", default="buffer",
+        help='fault target policy when --param is not given',
+    )
+    p.add_argument("--bit", type=int, default=None, help="bit to flip (default: random)")
+    p.add_argument("--test", type=int, default=0, help="test index within the point")
+    p.add_argument(
+        "--find-outcome", default=None, metavar="OUTCOME",
+        help="search test indices until this response type occurs (e.g. INF_LOOP)",
+    )
+    p.add_argument(
+        "--max-search", type=int, default=200,
+        help="max tests to try with --find-outcome",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=DEFAULT_CAPACITY,
+        help="trace ring-buffer capacity (events)",
+    )
+    p.add_argument("--limit", type=int, default=100, help="max events to pretty-print (0 = all)")
+    p.add_argument("--json", action="store_true", help="emit JSONL instead of text")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "stats", help="campaign with metrics: phase timings, tests/sec, outcomes",
+        parents=[verbosity],
+    )
+    _add_app_args(p)
+    _add_campaign_args(p)
+    p.add_argument("--json", action="store_true", help="dump the metrics registry as JSON")
+    p.set_defaults(fn=cmd_stats)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(verbose=getattr(args, "verbose", 0), quiet=getattr(args, "quiet", False))
     return args.fn(args)
 
 

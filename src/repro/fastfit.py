@@ -15,6 +15,7 @@ Typical use::
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -23,10 +24,13 @@ from .apps.base import Application
 from .apps.registry import make_app
 from .injection.campaign import Campaign, CampaignResult
 from .injection.space import InjectionPoint, enumerate_points
+from .obs.metrics import MetricsRegistry
 from .profiling.profiler import ApplicationProfile, profile_application
 from .pruning.context import ContextSelection, select_context
 from .pruning.mldriven import Labeler, MLDrivenResult, ml_driven_campaign
 from .pruning.semantic import SemanticSelection, select_semantic
+
+logger = logging.getLogger("repro.fastfit")
 
 
 @dataclass
@@ -115,11 +119,15 @@ class FastFIT:
         seed: int = 0,
         tests_per_point: int = 40,
         param_policy: str = "buffer",
+        metrics: MetricsRegistry | None = None,
     ):
         self.app = app
         self.seed = seed
         self.tests_per_point = tests_per_point
         self.param_policy = param_policy
+        #: Every phase records into this registry (``phase.*`` timers,
+        #: ``prune.*``/``campaign.*``/``ml.*`` from the stages).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._profile: ApplicationProfile | None = None
         self._pruning: PruningReport | None = None
 
@@ -132,19 +140,31 @@ class FastFIT:
     def profile(self) -> ApplicationProfile:
         """Profiling phase (one-time cost, cached)."""
         if self._profile is None:
-            self._profile = profile_application(self.app)
+            logger.info("profiling %s (%d ranks)", self.app.name, self.app.nranks)
+            with self.metrics.time("phase.profile_s"):
+                self._profile = profile_application(self.app)
+            logger.info("profile done: %d golden steps", self._profile.golden_steps)
         return self._profile
 
     def prune(self) -> PruningReport:
         """Semantic + application-context pruning (cached)."""
         if self._pruning is None:
             profile = self.profile()
-            semantic = select_semantic(profile)
-            context = select_context(profile, semantic.selected_points_list)
-            self._pruning = PruningReport(
-                total_points=len(enumerate_points(profile)),
-                semantic=semantic,
-                context=context,
+            with self.metrics.time("phase.prune_s"):
+                semantic = select_semantic(profile, metrics=self.metrics)
+                context = select_context(
+                    profile, semantic.selected_points_list, metrics=self.metrics
+                )
+                self._pruning = PruningReport(
+                    total_points=len(enumerate_points(profile)),
+                    semantic=semantic,
+                    context=context,
+                )
+            logger.info(
+                "pruning: %d points -> %d semantic -> %d representatives",
+                self._pruning.total_points,
+                semantic.selected_points,
+                context.selected_points,
             )
         return self._pruning
 
@@ -161,8 +181,13 @@ class FastFIT:
             tests_per_point=tests_per_point or self.tests_per_point,
             param_policy=self.param_policy,
             seed=self.seed,
+            metrics=self.metrics,
         )
-        return runner.run(points)
+        logger.info(
+            "campaign: %d points x %d tests", len(list(points)), runner.tests_per_point
+        )
+        with self.metrics.time("phase.campaign_s"):
+            return runner.run(points)
 
     def learn(
         self,
@@ -172,18 +197,21 @@ class FastFIT:
         batch_size: int | None = None,
     ) -> MLDrivenResult:
         """ML-driven injection over the pruned representatives."""
-        return ml_driven_campaign(
-            self.app,
-            self.profile(),
-            self.prune().representative_points,
-            labeler=labeler,
-            label_names=label_names,
-            threshold=threshold,
-            tests_per_point=self.tests_per_point,
-            batch_size=batch_size,
-            param_policy=self.param_policy,
-            seed=self.seed,
-        )
+        logger.info("ML-driven campaign: threshold %.2f", threshold)
+        with self.metrics.time("phase.learn_s"):
+            return ml_driven_campaign(
+                self.app,
+                self.profile(),
+                self.prune().representative_points,
+                labeler=labeler,
+                label_names=label_names,
+                threshold=threshold,
+                tests_per_point=self.tests_per_point,
+                batch_size=batch_size,
+                param_policy=self.param_policy,
+                seed=self.seed,
+                metrics=self.metrics,
+            )
 
     # -- one-shot studies ----------------------------------------------------
 

@@ -54,6 +54,18 @@ class PointResult:
                 return outcome
         return Outcome.SUCCESS  # pragma: no cover - tests is never empty here
 
+    def detail_samples(self) -> dict[Outcome, str]:
+        """One representative ``detail`` string per observed outcome.
+
+        The first non-empty detail wins; outcomes whose tests carry no
+        detail (``SUCCESS``) are omitted.
+        """
+        samples: dict[Outcome, str] = {}
+        for t in self.tests:
+            if t.detail and t.outcome not in samples:
+                samples[t.outcome] = t.detail
+        return samples
+
 
 @dataclass
 class CampaignResult:
@@ -102,6 +114,14 @@ class CampaignResult:
     def error_rates(self) -> list[float]:
         return [pr.error_rate for pr in self.points.values()]
 
+    def detail_samples(self) -> dict[Outcome, str]:
+        """Campaign-wide representative failure details, one per outcome."""
+        samples: dict[Outcome, str] = {}
+        for pr in self.points.values():
+            for outcome, detail in pr.detail_samples().items():
+                samples.setdefault(outcome, detail)
+        return samples
+
 
 class Campaign:
     """Drives injection tests over a set of points."""
@@ -115,6 +135,7 @@ class Campaign:
         seed: int = 0,
         progress: Callable[[int, int], None] | None = None,
         algorithms: dict[str, str] | None = None,
+        metrics=None,
     ):
         self.app = app
         self.profile = profile
@@ -122,6 +143,10 @@ class Campaign:
         self.param_policy = param_policy
         self.seed = seed
         self.progress = progress
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set
+        #: the campaign records test/outcome tallies and per-point timing
+        #: under ``campaign.*``.
+        self.metrics = metrics
         self.runner = InjectionRunner(app, profile, algorithms=algorithms)
 
     def _rng_for(self, point_index: int, test_index: int) -> np.random.Generator:
@@ -138,6 +163,11 @@ class Campaign:
             param = pick_target(rng, point.collective, self.param_policy)
             spec = FaultSpec(point, param, None)
             pr.tests.append(self.runner.run_one(spec, rng))
+        if self.metrics is not None:
+            self.metrics.counter("campaign.tests").inc(pr.n_tests)
+            for outcome, n in pr.outcomes.items():
+                self.metrics.counter(f"campaign.outcome.{outcome.name}").inc(n)
+            self.metrics.histogram("campaign.point_error_rate").observe(pr.error_rate)
         return pr
 
     def run(self, points: Sequence[InjectionPoint] | Iterable[InjectionPoint]) -> CampaignResult:
@@ -145,7 +175,12 @@ class Campaign:
         points = list(points)
         result = CampaignResult(self.app.name, self.tests_per_point, self.param_policy)
         for i, point in enumerate(points):
-            result.points[point] = self.run_point(point, point_index=i)
+            if self.metrics is not None:
+                with self.metrics.time("campaign.point_s"):
+                    result.points[point] = self.run_point(point, point_index=i)
+                self.metrics.counter("campaign.points").inc()
+            else:
+                result.points[point] = self.run_point(point, point_index=i)
             if self.progress is not None:
                 self.progress(i + 1, len(points))
         return result

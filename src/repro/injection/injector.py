@@ -23,13 +23,25 @@ from .targets import param_kind
 
 @dataclass(frozen=True)
 class InjectionRecord:
-    """What a fault injector actually did during a run."""
+    """What a fault injector actually did during a run.
+
+    Besides the flip itself, the record carries the faulting call
+    (collective/site/invocation) and the value transition
+    (``before -> after``) so failure forensics can describe the fault
+    without re-running anything (see
+    :func:`repro.obs.forensics.describe_fault`).
+    """
 
     param: str
     kind: str
     bit: int
     extent_bytes: int = 0  # buffer faults only
     skipped: bool = False  # e.g. zero-length buffer
+    collective: str = ""   # name of the faulting collective
+    site: str = ""         # call site id (file:line)
+    invocation: int = -1   # per-site invocation index
+    before: str = ""       # corrupted value before the flip
+    after: str = ""        # corrupted value after the flip
 
 
 def buffer_extent_bytes(ctx, call: CollectiveCall, param: str) -> int:
@@ -106,9 +118,10 @@ def buffer_extent_bytes(ctx, call: CollectiveCall, param: str) -> int:
 class FaultInjector(Instrument):
     """Flips one bit at one injection point, once per run."""
 
-    def __init__(self, spec: FaultSpec, rng: np.random.Generator):
+    def __init__(self, spec: FaultSpec, rng: np.random.Generator, tracer=None):
         self.spec = spec
         self.rng = rng
+        self.tracer = tracer
         self.record: InjectionRecord | None = None
 
     @property
@@ -130,6 +143,36 @@ class FaultInjector(Instrument):
 
     # -- the actual flip ------------------------------------------------
 
+    def _finish(
+        self,
+        call: CollectiveCall,
+        kind: str,
+        bit: int,
+        extent: int = 0,
+        skipped: bool = False,
+        before: str = "",
+        after: str = "",
+    ) -> None:
+        self.record = InjectionRecord(
+            self.spec.param,
+            kind,
+            bit,
+            extent,
+            skipped,
+            collective=call.name,
+            site=call.site,
+            invocation=call.invocation,
+            before=before,
+            after=after,
+        )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault_fired", call.rank,
+                param=self.spec.param, param_kind=kind, bit=bit,
+                collective=call.name, site=call.site, invocation=call.invocation,
+                skipped=skipped, before=before, after=after,
+            )
+
     def _inject(self, ctx, call: CollectiveCall) -> None:
         param = self.spec.param
         kind = param_kind(param)
@@ -138,41 +181,61 @@ class FaultInjector(Instrument):
         if kind == "scalar":
             if bit is None or bit < 0:
                 bit = int(self.rng.integers(0, 32))
-            call.args[param] = flip_int32(int(call.args[param]), bit)
-            self.record = InjectionRecord(param, kind, bit)
+            before = int(call.args[param])
+            call.args[param] = flip_int32(before, bit)
+            self._finish(call, kind, bit, before=str(before), after=str(call.args[param]))
         elif kind == "handle":
             if bit is None or bit < 0:
                 bit = int(self.rng.integers(0, 64))
-            call.args[param] = flip_int64(int(call.args[param]), bit)
-            self.record = InjectionRecord(param, kind, bit)
+            before = int(call.args[param])
+            call.args[param] = flip_int64(before, bit)
+            self._finish(
+                call, kind, bit, before=f"{before:#x}", after=f"{call.args[param]:#x}"
+            )
         elif kind == "vector":
             arr = np.array(call.args[param], dtype=np.int64, copy=True)
             if arr.size == 0:
-                self.record = InjectionRecord(param, kind, -1, skipped=True)
+                self._finish(call, kind, -1, skipped=True)
                 return
             if bit is None or bit < 0:
                 bit = int(self.rng.integers(0, arr.size * 32))
+            before = int(arr[bit // 32])
             flip_array_element(arr, bit // 32, bit % 32)
             call.args[param] = arr
-            self.record = InjectionRecord(param, kind, bit)
+            self._finish(
+                call, kind, bit,
+                before=f"[{bit // 32}]={before}", after=f"[{bit // 32}]={int(arr[bit // 32])}",
+            )
         elif kind == "handle_vector":
             arr = np.array([int(h) for h in call.args[param]], dtype=np.int64)
             if arr.size == 0:
-                self.record = InjectionRecord(param, kind, -1, skipped=True)
+                self._finish(call, kind, -1, skipped=True)
                 return
             if bit is None or bit < 0:
                 bit = int(self.rng.integers(0, arr.size * 64))
-            arr[bit // 64] = flip_int64(int(arr[bit // 64]), bit % 64)
+            before = int(arr[bit // 64])
+            arr[bit // 64] = flip_int64(before, bit % 64)
             call.args[param] = arr
-            self.record = InjectionRecord(param, kind, bit)
+            self._finish(
+                call, kind, bit,
+                before=f"[{bit // 64}]={before:#x}", after=f"[{bit // 64}]={int(arr[bit // 64]):#x}",
+            )
         elif kind == "buffer":
             extent = buffer_extent_bytes(ctx, call, param)
             if extent <= 0:
-                self.record = InjectionRecord(param, kind, -1, extent, skipped=True)
+                self._finish(call, kind, -1, extent, skipped=True)
                 return
             if bit is None or bit < 0:
                 bit = int(self.rng.integers(0, extent * 8))
-            ctx.memory.flip_bit(int(call.args[param]), bit)
-            self.record = InjectionRecord(param, kind, bit, extent)
+            addr = int(call.args[param])
+            byte_addr = addr + bit // 8
+            before = ctx.memory.read(byte_addr, 1)[0] if ctx.memory.in_arena(byte_addr) else None
+            ctx.memory.flip_bit(addr, bit)
+            after = ctx.memory.read(byte_addr, 1)[0]
+            self._finish(
+                call, kind, bit, extent,
+                before="" if before is None else f"byte {bit // 8}: {before:#04x}",
+                after=f"byte {bit // 8}: {after:#04x}",
+            )
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown parameter kind {kind!r}")

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..apps.base import Application
+from ..obs.forensics import describe_fault, failure_detail
 from ..profiling.profiler import ApplicationProfile, profile_application
 from ..simmpi import SimMPIError, run_app
 from .injector import FaultInjector, InjectionRecord
@@ -58,14 +59,34 @@ class InjectionRunner:
             else profile_application(app, algorithms=algorithms)
         )
         self.step_budget = max(self.profile.golden_steps * budget_factor, min_budget)
+        #: The exception that aborted the most recent :meth:`run_one`
+        #: (``None`` for clean completion).  Lets callers build richer
+        #: forensics (full wait-for graphs) than the summary in
+        #: ``TestResult.detail``.
+        self.last_exception: SimMPIError | None = None
 
     @property
     def golden_results(self):
         return self.profile.golden_results
 
-    def run_one(self, spec: FaultSpec, rng: np.random.Generator) -> TestResult:
-        """Execute one test and classify the application response."""
-        injector = FaultInjector(spec, rng)
+    def run_one(
+        self, spec: FaultSpec, rng: np.random.Generator, tracer=None
+    ) -> TestResult:
+        """Execute one test and classify the application response.
+
+        When a tracer is supplied the whole run is traced (scheduler,
+        contexts, memories, injector) and the armed fault is announced
+        with a ``fault_armed`` event before the job starts.
+        """
+        injector = FaultInjector(spec, rng, tracer=tracer)
+        self.last_exception = None
+        if tracer is not None:
+            p = spec.point
+            tracer.emit(
+                "fault_armed", p.rank,
+                param=spec.param, bit=-1 if spec.bit is None else spec.bit,
+                collective=p.collective, site=p.site, invocation=p.invocation,
+            )
         try:
             # Corrupted data legitimately overflows in application
             # arithmetic; silence numpy's warnings for the faulty run.
@@ -76,10 +97,21 @@ class InjectionRunner:
                     instruments=[injector],
                     step_budget=self.step_budget,
                     algorithms=self.algorithms,
+                    tracer=tracer,
                 )
         except SimMPIError as exc:
-            return TestResult(spec, classify_exception(exc), injector.record, detail=str(exc))
+            self.last_exception = exc
+            return TestResult(
+                spec,
+                classify_exception(exc),
+                injector.record,
+                detail=failure_detail(exc, injector.record),
+            )
 
         if self.app.compare(self.golden_results, result.results):
             return TestResult(spec, Outcome.SUCCESS, injector.record)
-        return TestResult(spec, Outcome.WRONG_ANS, injector.record, detail="signature mismatch")
+        detail = "wrong answer: result signature differs from golden run"
+        fault = describe_fault(injector.record)
+        if fault:
+            detail += f"; fault: {fault}"
+        return TestResult(spec, Outcome.WRONG_ANS, injector.record, detail=detail)

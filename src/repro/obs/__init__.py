@@ -1,0 +1,47 @@
+"""``repro.obs`` — the observability layer.
+
+Three concerns, one subsystem:
+
+* **tracing** (:mod:`.events`) — a bounded ring buffer of typed
+  simulator events (message matching, collective entry/exit,
+  allocations, fault arm/fire), threaded through the runtime as an
+  optional ``tracer`` so the untraced hot path stays fast;
+* **metrics** (:mod:`.metrics`) — counters, gauges, wall-clock/step
+  timers, and histograms recorded by the injection engine, the pruners,
+  and the facade, exportable as JSON;
+* **forensics** (:mod:`.forensics`) — wait-for graphs for deadlocks and
+  one-line fault descriptions that populate ``TestResult.detail``.
+
+Plus :mod:`.logconf`, the CLI's leveled-logging setup.
+"""
+
+from .events import DEFAULT_CAPACITY, EVENT_KINDS, TraceEvent, Tracer, format_event
+from .forensics import (
+    WaitEdge,
+    WaitForGraph,
+    build_wait_for_graph,
+    describe_fault,
+    failure_detail,
+)
+from .logconf import setup_logging, verbosity_level
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "TraceEvent",
+    "Tracer",
+    "WaitEdge",
+    "WaitForGraph",
+    "build_wait_for_graph",
+    "describe_fault",
+    "failure_detail",
+    "format_event",
+    "setup_logging",
+    "verbosity_level",
+]

@@ -1,0 +1,44 @@
+"""Shared logging configuration for the CLI and library consumers.
+
+The library itself only ever calls ``logging.getLogger(...)`` — it never
+configures handlers (standard library-package etiquette).  The CLI (and
+any embedding application) calls :func:`setup_logging` once to map its
+``--verbose``/``--quiet`` flags onto root-logger levels.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+#: -v count -> level for the ``repro`` logger hierarchy.
+_LEVELS = (logging.WARNING, logging.INFO, logging.DEBUG)
+
+LOG_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def verbosity_level(verbose: int = 0, quiet: bool = False) -> int:
+    """The logging level implied by CLI flags (quiet wins)."""
+    if quiet:
+        return logging.ERROR
+    return _LEVELS[min(max(verbose, 0), len(_LEVELS) - 1)]
+
+
+def setup_logging(
+    verbose: int = 0, quiet: bool = False, stream: IO[str] | None = None
+) -> int:
+    """Configure root logging for a CLI invocation; returns the level.
+
+    Idempotent (``force=True``): safe to call once per ``main()`` even
+    when several CLI invocations share a process, as in the test suite.
+    Diagnostics go to stderr so stdout stays parseable (tables, JSONL).
+    """
+    level = verbosity_level(verbose, quiet)
+    logging.basicConfig(
+        level=level,
+        format=LOG_FORMAT,
+        stream=stream if stream is not None else sys.stderr,
+        force=True,
+    )
+    return level

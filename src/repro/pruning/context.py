@@ -46,13 +46,14 @@ class ContextSelection:
 
 
 def select_context(
-    profile: ApplicationProfile, points: Iterable[InjectionPoint]
+    profile: ApplicationProfile, points: Iterable[InjectionPoint], metrics=None
 ) -> ContextSelection:
     """Collapse ``points`` to one representative per (rank, site, stack).
 
     The representative is the earliest invocation of each stack class,
     matching the paper's "choose one representative invocation to
     represent all other invocations that share the same call stack".
+    ``metrics`` optionally records the sizes under ``prune.context.*``.
     """
     sel = ContextSelection()
     by_group: dict[tuple, list[InjectionPoint]] = {}
@@ -69,4 +70,8 @@ def select_context(
     for _, members in sorted(by_group.items(), key=lambda kv: str(kv[0])):
         members.sort()
         sel.representatives[members[0]] = members
+    if metrics is not None:
+        metrics.gauge("prune.context.total_points").set(sel.total_points)
+        metrics.gauge("prune.context.selected_points").set(sel.selected_points)
+        metrics.gauge("prune.context.reduction").set(sel.reduction)
     return sel

@@ -81,12 +81,15 @@ def ml_driven_campaign(
     param_policy: str = "buffer",
     seed: int = 0,
     n_estimators: int = 24,
+    metrics=None,
 ) -> MLDrivenResult:
     """Run the inject → learn → verify loop of FastFIT's learning phase.
 
     ``threshold`` is the user's prediction-accuracy target; smaller
     thresholds stop earlier and skip more tests (the trade-off of
-    Fig. 6).
+    Fig. 6).  ``metrics`` optionally records per-batch verification
+    accuracy and the final tested/predicted split under ``ml.*`` (the
+    inner campaign also records ``campaign.*``).
     """
     if labeler is None:
         labeler, label_names = level_labeler()
@@ -101,7 +104,12 @@ def ml_driven_campaign(
         batch_size = max(4, len(shuffled) // 8)
 
     campaign = Campaign(
-        app, profile, tests_per_point=tests_per_point, param_policy=param_policy, seed=seed
+        app,
+        profile,
+        tests_per_point=tests_per_point,
+        param_policy=param_policy,
+        seed=seed,
+        metrics=metrics,
     )
     result = MLDrivenResult(threshold=threshold, label_names=label_names)
 
@@ -126,6 +134,8 @@ def ml_driven_campaign(
             y_pred = model.predict(features_matrix(profile, pts))
             acc = accuracy(y_true, y_pred)
             result.accuracy_history.append(acc)
+            if metrics is not None:
+                metrics.histogram("ml.batch_accuracy").observe(acc)
             result.tested.update(measured)
             if acc >= threshold:
                 result.reached_threshold = True
@@ -144,4 +154,9 @@ def ml_driven_campaign(
     if remaining and model is not None:
         preds = model.predict(features_matrix(profile, remaining))
         result.predicted = {pt: int(p) for pt, p in zip(remaining, preds)}
+    if metrics is not None:
+        metrics.gauge("ml.tested_points").set(len(result.tested))
+        metrics.gauge("ml.predicted_points").set(len(result.predicted))
+        metrics.gauge("ml.test_reduction").set(result.test_reduction)
+        metrics.gauge("ml.final_accuracy").set(result.final_accuracy)
     return result

@@ -49,8 +49,13 @@ class SemanticSelection:
         return 1.0 - self.selected_points / self.total_points
 
 
-def select_semantic(profile: ApplicationProfile) -> SemanticSelection:
-    """Apply semantic-driven pruning to a profiled application."""
+def select_semantic(profile: ApplicationProfile, metrics=None) -> SemanticSelection:
+    """Apply semantic-driven pruning to a profiled application.
+
+    ``metrics`` is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry`; the selection sizes and
+    reduction are recorded under ``prune.semantic.*``.
+    """
     sel = SemanticSelection(classes=equivalence_classes(profile))
     by_site: dict[tuple[str, str], list] = {}
     for (rank, site_key), summary in profile.summaries.items():
@@ -88,4 +93,8 @@ def select_semantic(profile: ApplicationProfile) -> SemanticSelection:
                 sel.selected_points_list.append(
                     InjectionPoint(rank, site_key[0], site_key[1], inv)
                 )
+    if metrics is not None:
+        metrics.gauge("prune.semantic.total_points").set(sel.total_points)
+        metrics.gauge("prune.semantic.selected_points").set(sel.selected_points)
+        metrics.gauge("prune.semantic.reduction").set(sel.reduction)
     return sel

@@ -75,6 +75,7 @@ class CommFactory:
     def __init__(self):
         self.space: HandleSpace[Communicator] = HandleSpace("comm", base=0x7F4C_0000_0000)
         self._next_context = 1
+        self.created: list[Communicator] = []
 
     def create(self, group: tuple[int, ...], name: str = "") -> tuple[Communicator, int]:
         """Create a communicator over ``group``; returns (comm, handle)."""
@@ -83,7 +84,17 @@ class CommFactory:
         comm = Communicator(self._next_context, tuple(group), name or f"comm#{self._next_context}")
         self._next_context += 1
         handle = self.space.register(comm)
+        self.created.append(comm)
         return comm, handle
+
+    def context_map(self) -> dict[int, tuple[str, tuple[int, ...]]]:
+        """``context_id -> (name, group)`` for every communicator created.
+
+        This is the forensic lookup hang diagnostics use to name the
+        communicator a blocked receive was posted on (see
+        :mod:`repro.obs.forensics`).
+        """
+        return {c.context_id: (c.name, c.group) for c in self.created}
 
     def world(self, nranks: int) -> tuple[Communicator, int]:
         """Create MPI_COMM_WORLD over ``nranks`` ranks."""

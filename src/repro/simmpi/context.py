@@ -65,7 +65,8 @@ class Context:
         self.runtime = runtime
         self.rank = rank
         self.size = runtime.nranks
-        self.memory = Memory(rank, runtime.arena_size)
+        self._tracer = getattr(runtime, "tracer", None)
+        self.memory = Memory(rank, runtime.arena_size, tracer=self._tracer)
         self.instruments = list(instruments)
         self.phase = "init"
         self._site_counters: dict[tuple[str, str], int] = {}
@@ -159,11 +160,23 @@ class Context:
             args=args,
         )
         self._coll_seq += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                "coll_enter", self.rank,
+                name=name, site=site, invocation=invocation,
+                seq=call.seq, phase=self.phase,
+            )
         for ins in self.instruments:
             ins.on_collective(self, call)
         return call
 
     def _complete(self, call: CollectiveCall) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(
+                "coll_exit", self.rank,
+                name=call.name, site=call.site, invocation=call.invocation,
+                seq=call.seq,
+            )
         for ins in self.instruments:
             ins.on_complete(self, call)
 

@@ -64,19 +64,59 @@ class AppError(SimMPIError):
 
 
 class DeadlockError(SimMPIError):
-    """No fiber can make progress; the job would hang forever (``INF_LOOP``)."""
+    """No fiber can make progress; the job would hang forever (``INF_LOOP``).
 
-    def __init__(self, blocked: dict[int, str] | None = None):
+    Besides the human-readable ``blocked`` map, the scheduler attaches
+    the structured forensic data that
+    :func:`repro.obs.forensics.build_wait_for_graph` consumes:
+
+    * ``waiting`` — blocked world rank → posted match key
+      ``(context_id, src, dst, tag)``;
+    * ``fiber_states`` — world rank → fiber state name for *every* rank;
+    * ``mailbox`` — list of ``(match key, queued message count)`` for
+      messages sent but never received (near-miss evidence);
+    * ``comms`` — context id → ``(name, group)`` of each live
+      communicator at abort time.
+    """
+
+    def __init__(
+        self,
+        blocked: dict[int, str] | None = None,
+        waiting: dict[int, tuple[int, int, int, int]] | None = None,
+        fiber_states: dict[int, str] | None = None,
+        mailbox: list[tuple[tuple[int, int, int, int], int]] | None = None,
+        comms: dict[int, tuple[str, tuple[int, ...]]] | None = None,
+    ):
         self.blocked = dict(blocked or {})
+        self.waiting = dict(waiting or {})
+        self.fiber_states = dict(fiber_states or {})
+        self.mailbox = list(mailbox or ())
+        self.comms = dict(comms or {})
         detail = "; ".join(f"rank {r}: {w}" for r, w in sorted(self.blocked.items()))
         super().__init__(f"deadlock detected ({detail})" if detail else "deadlock detected")
 
 
 class StepBudgetExceeded(SimMPIError):
-    """The run exceeded its event budget; treated as a hang (``INF_LOOP``)."""
+    """The run exceeded its event budget; treated as a hang (``INF_LOOP``).
 
-    def __init__(self, budget: int):
+    Carries the same optional forensic attachments as
+    :class:`DeadlockError` (ranks still blocked when the budget ran
+    out often explain a livelock's shape).
+    """
+
+    def __init__(
+        self,
+        budget: int,
+        waiting: dict[int, tuple[int, int, int, int]] | None = None,
+        fiber_states: dict[int, str] | None = None,
+        mailbox: list[tuple[tuple[int, int, int, int], int]] | None = None,
+        comms: dict[int, tuple[str, tuple[int, ...]]] | None = None,
+    ):
         self.budget = budget
+        self.waiting = dict(waiting or {})
+        self.fiber_states = dict(fiber_states or {})
+        self.mailbox = list(mailbox or ())
+        self.comms = dict(comms or {})
         super().__init__(f"step budget of {budget} events exceeded")
 
 

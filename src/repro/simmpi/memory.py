@@ -94,12 +94,21 @@ class Memory:
     base:
         Arena base address; all ranks use the same base, as with
         identically mapped SPMD processes.
+    tracer:
+        Optional event tracer; allocations emit ``alloc`` events.
     """
 
-    def __init__(self, rank: int, size: int = DEFAULT_ARENA_SIZE, base: int = ARENA_BASE):
+    def __init__(
+        self,
+        rank: int,
+        size: int = DEFAULT_ARENA_SIZE,
+        base: int = ARENA_BASE,
+        tracer=None,
+    ):
         self.rank = rank
         self.base = base
         self.size = size
+        self.tracer = tracer
         self.raw = np.zeros(size, dtype=np.uint8)
         self.segments: list[Segment] = []
         self._brk = base
@@ -120,6 +129,8 @@ class Memory:
         self._brk = end + pad
         seg = Segment(addr, nbytes, label)
         self.segments.append(seg)
+        if self.tracer is not None:
+            self.tracer.emit("alloc", self.rank, addr=addr, nbytes=nbytes, label=label)
         return seg
 
     def alloc_array(self, count: int, dtype: Datatype, label: str = "") -> ArrayRef:

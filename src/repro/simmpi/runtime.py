@@ -55,6 +55,10 @@ class SimMPI:
         Scheduler event budget; exceeding it means ``INF_LOOP``.
     arena_size:
         Per-rank simulated memory size in bytes.
+    tracer:
+        Optional :class:`~repro.obs.events.Tracer`; when set, the
+        scheduler, contexts, and memories emit structured events into
+        it.  ``None`` (the default) keeps the hot path untraced.
     """
 
     #: Recognised collective-algorithm selections per operation.
@@ -69,12 +73,14 @@ class SimMPI:
         step_budget: int = DEFAULT_STEP_BUDGET,
         arena_size: int = DEFAULT_ARENA_SIZE,
         algorithms: dict[str, str] | None = None,
+        tracer=None,
     ):
         if nranks < 1:
             raise ValueError(f"need at least one rank, got {nranks}")
         self.nranks = nranks
         self.step_budget = step_budget
         self.arena_size = arena_size
+        self.tracer = tracer
         self.algorithms = {"bcast": "binomial", "allreduce": "auto"}
         for key, value in (algorithms or {}).items():
             if key not in self.ALGORITHM_CHOICES:
@@ -102,7 +108,12 @@ class SimMPI:
         self._used = True
         contexts = [Context(self, rank, instruments) for rank in range(self.nranks)]
         fibers = [Fiber(rank, app_fn(ctx)) for rank, ctx in enumerate(contexts)]
-        scheduler = Scheduler(fibers, step_budget=self.step_budget)
+        scheduler = Scheduler(
+            fibers,
+            step_budget=self.step_budget,
+            tracer=self.tracer,
+            comm_lookup=self.comm_factory.context_map,
+        )
         results = scheduler.run()
         return RunResult(results=results, steps=scheduler.steps, contexts=contexts)
 
@@ -114,8 +125,13 @@ def run_app(
     step_budget: int = DEFAULT_STEP_BUDGET,
     arena_size: int = DEFAULT_ARENA_SIZE,
     algorithms: dict[str, str] | None = None,
+    tracer=None,
 ) -> RunResult:
     """Convenience wrapper: build a fresh runtime and run ``app_fn``."""
     return SimMPI(
-        nranks, step_budget=step_budget, arena_size=arena_size, algorithms=algorithms
+        nranks,
+        step_budget=step_budget,
+        arena_size=arena_size,
+        algorithms=algorithms,
+        tracer=tracer,
     ).run(app_fn, instruments=instruments)

@@ -9,12 +9,19 @@ global event budget so that runaway loops terminate deterministically.
 There is no wall-clock anywhere: the same program with the same injected
 fault always produces the same trace, which is what makes fault-injection
 campaigns reproducible.
+
+When a :class:`~repro.obs.events.Tracer` is attached, the scheduler emits
+``send``/``recv``/``match``/``rank_blocked`` events; when a run hangs it
+attaches a structured forensic snapshot (who waits on what, fiber
+states, unconsumed mailbox keys, live communicators) to the raised
+exception so :mod:`repro.obs.forensics` can build the wait-for graph
+after the runtime is gone.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any
+from typing import Any, Callable
 
 from .errors import DeadlockError, FiberCrashed, SimMPIError, StepBudgetExceeded
 from .fiber import Fiber, FiberState, Progress, Recv, Send
@@ -24,6 +31,10 @@ from .fiber import Fiber, FiberState, Progress, Recv, Send
 DEFAULT_STEP_BUDGET = 2_000_000
 
 MatchKey = tuple[int, int, int, int]
+
+#: Zero-argument callable returning ``context_id -> (name, group)`` for
+#: every live communicator (see ``CommFactory.context_map``).
+CommLookup = Callable[[], dict[int, tuple[str, tuple[int, ...]]]]
 
 
 class Scheduler:
@@ -36,11 +47,24 @@ class Scheduler:
     step_budget:
         Maximum number of syscalls (weighted) before the run is declared
         hung.
+    tracer:
+        Optional event tracer; ``None`` keeps the hot path untraced.
+    comm_lookup:
+        Optional live-communicator lookup used to annotate hang
+        forensics with communicator names and groups.
     """
 
-    def __init__(self, fibers: list[Fiber], step_budget: int = DEFAULT_STEP_BUDGET):
+    def __init__(
+        self,
+        fibers: list[Fiber],
+        step_budget: int = DEFAULT_STEP_BUDGET,
+        tracer=None,
+        comm_lookup: CommLookup | None = None,
+    ):
         self.fibers = fibers
         self.step_budget = step_budget
+        self.tracer = tracer
+        self.comm_lookup = comm_lookup
         self.steps = 0
         #: Unconsumed messages: match key -> FIFO of payloads.
         self.mailbox: dict[MatchKey, deque[bytes]] = {}
@@ -57,17 +81,34 @@ class Scheduler:
             waiter.state = FiberState.READY
             waiter.wait_reason = ""
             self._ready.append(waiter)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "match", waiter.rank,
+                    ctx=call.context_id, src=call.src, dst=call.dst, tag=call.tag,
+                    nbytes=len(call.payload),
+                )
         else:
             self.mailbox.setdefault(key, deque()).append(call.payload)
 
     def _handle_recv(self, fiber: Fiber, call: Recv) -> bool:
         """Returns True if the fiber stays ready (message available)."""
         key = (call.context_id, call.src, call.dst, call.tag)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "recv", fiber.rank,
+                ctx=call.context_id, src=call.src, dst=call.dst, tag=call.tag,
+            )
         queue = self.mailbox.get(key)
         if queue:
             fiber.resume_value = queue.popleft()
             if not queue:
                 del self.mailbox[key]
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "match", fiber.rank,
+                    ctx=call.context_id, src=call.src, dst=call.dst, tag=call.tag,
+                    nbytes=len(fiber.resume_value),
+                )
             return True
         if key in self.waiting:  # pragma: no cover - defensive
             raise RuntimeError(f"duplicate receive posted for {key}")
@@ -76,7 +117,29 @@ class Scheduler:
             f"recv(ctx={call.context_id}, src={call.src}, dst={call.dst}, tag={call.tag:#x})"
         )
         self.waiting[key] = fiber
+        if self.tracer is not None:
+            self.tracer.emit(
+                "rank_blocked", fiber.rank,
+                ctx=call.context_id, src=call.src, dst=call.dst, tag=call.tag,
+            )
         return False
+
+    # -- hang forensics ----------------------------------------------
+
+    def _forensics(self) -> dict[str, Any]:
+        """Structured snapshot attached to hang exceptions."""
+        return {
+            "waiting": {f.rank: key for key, f in self.waiting.items()},
+            "fiber_states": {f.rank: f.state.value for f in self.fibers},
+            "mailbox": [(key, len(q)) for key, q in sorted(self.mailbox.items())],
+            "comms": dict(self.comm_lookup()) if self.comm_lookup is not None else {},
+        }
+
+    def _deadlock(self) -> DeadlockError:
+        return DeadlockError(
+            {f.rank: f.wait_reason for f in self.waiting.values()},
+            **self._forensics(),
+        )
 
     # -- main loop ----------------------------------------------------
 
@@ -106,9 +169,15 @@ class Scheduler:
 
             self.steps += call.weight if isinstance(call, Progress) else 1
             if self.steps > self.step_budget:
-                raise StepBudgetExceeded(self.step_budget)
+                raise StepBudgetExceeded(self.step_budget, **self._forensics())
 
             if isinstance(call, Send):
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "send", fiber.rank,
+                        ctx=call.context_id, src=call.src, dst=call.dst,
+                        tag=call.tag, nbytes=len(call.payload),
+                    )
                 self._handle_send(call)
                 self._ready.append(fiber)
             elif isinstance(call, Recv):
@@ -120,8 +189,8 @@ class Scheduler:
                 raise TypeError(f"fiber {fiber.rank} yielded {call!r}")
 
             if not self._ready and self.waiting:
-                raise DeadlockError({f.rank: f.wait_reason for f in self.waiting.values()})
+                raise self._deadlock()
 
         if self.waiting:
-            raise DeadlockError({f.rank: f.wait_reason for f in self.waiting.values()})
+            raise self._deadlock()
         return [f.result for f in self.fibers]

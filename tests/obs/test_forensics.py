@@ -1,0 +1,152 @@
+"""Failure-forensics tests: wait-for graphs and fault descriptions."""
+
+import pytest
+
+from repro.injection.injector import InjectionRecord
+from repro.obs import Tracer, build_wait_for_graph, describe_fault, failure_detail
+from repro.simmpi import DeadlockError, run_app
+from repro.simmpi.errors import StepBudgetExceeded
+
+
+def _deadlock_from(app, nranks, **kwargs):
+    with pytest.raises(DeadlockError) as info:
+        run_app(app, nranks, **kwargs)
+    return info.value
+
+
+def test_cross_recv_deadlock_graph():
+    """Two ranks each waiting on the other: a 0 -> 1 -> 0 wait cycle."""
+
+    def app(ctx):
+        buf = ctx.alloc(1, ctx.INT)
+        peer = 1 - ctx.rank
+        yield from ctx.Recv(buf.addr, 1, ctx.INT, peer, 0, ctx.WORLD)
+
+    exc = _deadlock_from(app, 2)
+    graph = build_wait_for_graph(exc)
+    assert graph.blocked_ranks == [0, 1]
+    edges = {e.rank: e for e in graph.edges}
+    assert edges[0].waits_on == 1 and edges[1].waits_on == 0
+    assert edges[0].comm == "MPI_COMM_WORLD"
+    assert "blocked" in edges[0].reason
+    assert sorted(graph.cycle) == [0, 1]
+    text = graph.describe()
+    assert "rank 0 waits on recv(comm=MPI_COMM_WORLD" in text
+    assert "wait cycle:" in text
+
+
+def test_source_finished_without_sending():
+    def app(ctx):
+        if ctx.rank == 0:
+            return None  # finishes immediately, sends nothing
+        buf = ctx.alloc(1, ctx.INT)
+        yield from ctx.Recv(buf.addr, 1, ctx.INT, 0, 0, ctx.WORLD)
+
+    graph = build_wait_for_graph(_deadlock_from(app, 2))
+    assert graph.blocked_ranks == [1]
+    assert "finished without a matching send" in graph.edges[0].reason
+    assert graph.cycle == []
+
+
+def test_near_miss_tag_is_reported():
+    """A message queued under a different tag is named in the reason."""
+
+    def app(ctx):
+        buf = ctx.alloc(1, ctx.INT)
+        if ctx.rank == 0:
+            yield from ctx.Send(buf.addr, 1, ctx.INT, 1, 7, ctx.WORLD)
+            return None
+        yield from ctx.Recv(buf.addr, 1, ctx.INT, 0, 9, ctx.WORLD)
+
+    graph = build_wait_for_graph(_deadlock_from(app, 2))
+    (edge,) = graph.edges
+    assert edge.rank == 1 and edge.space == "p2p"
+    assert "queued with tag 0x7" in edge.reason
+    assert "0x9" in edge.reason
+
+
+def test_graph_to_dict_and_summary():
+    def app(ctx):
+        buf = ctx.alloc(1, ctx.INT)
+        peer = 1 - ctx.rank
+        yield from ctx.Recv(buf.addr, 1, ctx.INT, peer, 0, ctx.WORLD)
+
+    graph = build_wait_for_graph(_deadlock_from(app, 2))
+    d = graph.to_dict()
+    assert {e["rank"] for e in d["edges"]} == {0, 1}
+    assert set(d["edges"][0]) == {
+        "rank", "waits_on", "comm", "src", "dst", "tag", "space", "reason"
+    }
+    assert "rank 0<-src 1@MPI_COMM_WORLD" in graph.summary()
+
+
+def test_bare_exception_yields_empty_graph():
+    graph = build_wait_for_graph(DeadlockError({0: "recv(...)"}))
+    assert graph.edges == [] and graph.cycle == []
+
+
+def test_traced_deadlock_emits_blocked_events():
+    def app(ctx):
+        buf = ctx.alloc(1, ctx.INT)
+        peer = 1 - ctx.rank
+        yield from ctx.Recv(buf.addr, 1, ctx.INT, peer, 0, ctx.WORLD)
+
+    tracer = Tracer()
+    _deadlock_from(app, 2, tracer=tracer)
+    blocked = tracer.events("rank_blocked")
+    assert {e.rank for e in blocked} == {0, 1}
+    assert len(tracer.events("alloc")) == 2
+
+
+def test_describe_fault_formats():
+    rec = InjectionRecord(
+        "count", "scalar", 30, collective="Bcast", site="lu.py:85",
+        invocation=0, before="64", after="1073741888",
+    )
+    desc = describe_fault(rec)
+    assert desc == "bit 30 of scalar 'count' in Bcast@lu.py:85#inv0 (64 -> 1073741888)"
+
+    skipped = InjectionRecord("sendbuf", "buffer", -1, skipped=True,
+                              collective="Alltoallv", site="x.py:1", invocation=2)
+    assert "skipped (empty target)" in describe_fault(skipped)
+    assert describe_fault(None) == ""
+
+
+def test_failure_detail_couples_fault_and_evidence():
+    def app(ctx):
+        buf = ctx.alloc(1, ctx.INT)
+        if ctx.rank == 1:
+            yield from ctx.Recv(buf.addr, 1, ctx.INT, 0, 0, ctx.WORLD)
+
+    exc = _deadlock_from(app, 2)
+    rec = InjectionRecord("root", "scalar", 3, collective="Bcast",
+                          site="a.py:1", invocation=0, before="0", after="8")
+    detail = failure_detail(exc, rec)
+    assert detail.startswith("deadlock: rank 1<-src 0@MPI_COMM_WORLD")
+    assert "fault: bit 3 of scalar 'root'" in detail
+
+
+def test_failure_detail_step_budget():
+    def app(ctx):
+        from repro.simmpi.fiber import Progress
+
+        while True:
+            yield Progress()
+
+    with pytest.raises(StepBudgetExceeded) as info:
+        run_app(app, 1, step_budget=100)
+    detail = failure_detail(info.value)
+    assert "runaway execution" in detail
+
+
+def test_campaign_details_populated_for_failures(lu_small_campaign):
+    """Every non-SUCCESS test result carries a non-empty detail string."""
+    from repro.injection import Outcome
+
+    non_success = [
+        t for t in lu_small_campaign.all_tests() if t.outcome is not Outcome.SUCCESS
+    ]
+    assert non_success, "campaign produced only successes; fixture too small"
+    assert all(t.detail for t in non_success)
+    samples = lu_small_campaign.detail_samples()
+    assert samples and all(samples.values())

@@ -1,0 +1,90 @@
+"""Ring-buffer tracer unit tests."""
+
+import pytest
+
+from repro.obs import DEFAULT_CAPACITY, TraceEvent, Tracer, format_event
+
+
+def test_emit_records_in_order():
+    t = Tracer()
+    t.emit("send", 0, ctx=1, src=0, dst=1, tag=0)
+    t.emit("recv", 1, ctx=1, src=0, dst=1, tag=0)
+    t.emit("match", 1, ctx=1, src=0, dst=1, tag=0, nbytes=8)
+    assert [e.kind for e in t] == ["send", "recv", "match"]
+    assert [e.seq for e in t] == [0, 1, 2]
+    assert len(t) == 3 and t.emitted == 3 and t.dropped == 0
+
+
+def test_ring_bounds_memory_and_keeps_newest():
+    t = Tracer(capacity=10)
+    for i in range(25):
+        t.emit("alloc", 0, nbytes=i)
+    assert len(t) == 10
+    assert t.emitted == 25
+    assert t.dropped == 15
+    # The newest window survives, in order.
+    assert [e.data["nbytes"] for e in t] == list(range(15, 25))
+    assert [e.seq for e in t] == list(range(15, 25))
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_disabled_tracer_emits_nothing():
+    t = Tracer(enabled=False)
+    t.emit("send", 0)
+    assert len(t) == 0 and t.emitted == 0
+    t.enabled = True
+    t.emit("send", 0)
+    assert len(t) == 1
+
+
+def test_events_filter_by_kind():
+    t = Tracer()
+    for kind in ("send", "recv", "send", "match"):
+        t.emit(kind, 0)
+    assert [e.kind for e in t.events("send")] == ["send", "send"]
+    assert [e.kind for e in t.events("send", "match")] == ["send", "send", "match"]
+    assert len(t.events()) == 4
+
+
+def test_clear_resets_counters():
+    t = Tracer(capacity=4)
+    for _ in range(9):
+        t.emit("send", 0)
+    t.clear()
+    assert len(t) == 0 and t.emitted == 0 and t.dropped == 0
+    t.emit("recv", 2)
+    assert next(iter(t)).seq == 0
+
+
+def test_default_capacity_is_bounded():
+    assert Tracer().capacity == DEFAULT_CAPACITY
+
+
+def test_to_dict_is_flat_and_json_safe():
+    e = TraceEvent(7, "match", 3, {"ctx": 1, "src": 0, "dst": 3, "tag": 5})
+    d = e.to_dict()
+    assert d == {"seq": 7, "kind": "match", "rank": 3, "ctx": 1, "src": 0, "dst": 3, "tag": 5}
+
+
+def test_format_event_shapes():
+    match = TraceEvent(0, "match", 1, {"ctx": 9, "src": 0, "dst": 1, "tag": 0x42, "nbytes": 16})
+    line = format_event(match)
+    assert "match" in line and "ctx=9" in line and "0x42" in line and "nbytes=16" in line
+
+    enter = TraceEvent(1, "coll_enter", 0, {"name": "Bcast", "site": "a.py:3", "invocation": 2, "phase": "compute"})
+    line = format_event(enter)
+    assert "Bcast@a.py:3#inv2" in line and "phase=compute" in line
+
+    exit_ = TraceEvent(2, "coll_exit", 0, {"name": "Bcast", "site": "a.py:3", "invocation": 2})
+    assert "phase" not in format_event(exit_)
+
+    fired = TraceEvent(3, "fault_fired", 2, {
+        "collective": "Reduce", "site": "b.py:9", "invocation": 0,
+        "param": "count", "bit": 30, "before": "64", "after": "1073741888",
+    })
+    line = format_event(fired)
+    assert "Reduce@b.py:9#inv0" in line and "param=count" in line and "64 -> 1073741888" in line

@@ -1,5 +1,7 @@
 """CLI tests (the ``fastfit`` entry point)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -112,5 +114,118 @@ def test_missing_command_rejected():
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for cmd in ("apps", "profile", "prune", "campaign", "learn", "study"):
+    for cmd in ("apps", "profile", "prune", "campaign", "learn", "study", "trace", "stats"):
         assert cmd in text
+
+
+def test_verbosity_flags_accepted_everywhere():
+    parser = build_parser()
+    for argv in (["apps", "-v"], ["apps", "-q"], ["apps", "-vv"]):
+        args = parser.parse_args(argv)
+        assert args.command == "apps"
+
+
+def test_trace_smoke(capsys):
+    assert (
+        main(
+            ["trace", "--app", "lu", "--problem-class", "T", "--point", "0", "--limit", "20"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "outcome:" in out
+    assert "coll_enter" in out or "send" in out
+
+
+def test_trace_json_is_valid_jsonl(capsys):
+    assert (
+        main(
+            ["trace", "--app", "lu", "--problem-class", "T", "--point", "0", "--json"]
+        )
+        == 0
+    )
+    lines = [ln for ln in capsys.readouterr().out.splitlines() if ln.strip()]
+    records = [json.loads(ln) for ln in lines]
+    types = {r.get("type") for r in records}
+    assert "meta" in types and "event" in types and "result" in types
+    events = [r for r in records if r.get("type") == "event"]
+    assert events and all("seq" in e and "kind" in e and "rank" in e for e in events)
+
+
+def test_trace_inf_loop_prints_wait_for_graph(capsys):
+    """Pinned deterministic INF_LOOP: lu/T representative #20, test 7
+    (seed 2015) corrupts Bcast's root on rank 3 and hangs the job."""
+    assert (
+        main(
+            [
+                "trace",
+                "--app", "lu",
+                "--problem-class", "T",
+                "--point", "20",
+                "--policy", "all",
+                "--test", "7",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "INF_LOOP" in out
+    assert "wait-for graph" in out
+    assert "waits on recv(comm=" in out
+    assert "tag" in out
+
+
+def test_trace_point_out_of_range():
+    assert (
+        main(["trace", "--app", "lu", "--problem-class", "T", "--point", "9999"]) == 2
+    )
+
+
+def test_trace_rejects_unknown_param(capsys):
+    assert (
+        main(
+            ["trace", "--app", "lu", "--problem-class", "T", "--point", "0",
+             "--param", "notaparam"]
+        )
+        == 2
+    )
+    err = capsys.readouterr().err
+    assert "notaparam" in err and "sendbuf" in err
+
+
+def test_stats_smoke(capsys):
+    assert (
+        main(
+            [
+                "stats",
+                "--app", "is",
+                "--problem-class", "T",
+                "--tests", "2",
+                "--max-points", "4",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "phase" in out
+    assert "tests/sec" in out
+    assert "SUCCESS" in out
+
+
+def test_stats_json_export(capsys):
+    assert (
+        main(
+            [
+                "stats",
+                "--app", "is",
+                "--problem-class", "T",
+                "--tests", "2",
+                "--max-points", "4",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    data = json.loads(capsys.readouterr().out)
+    assert data["counters"]["campaign.tests"] > 0
+    assert "phase.campaign_s" in data["timers"]
