@@ -1,0 +1,72 @@
+"""Speedup-vs-workers for the sharded campaign engine.
+
+Runs the *same* campaign (same app, points, seed) at increasing
+``--jobs`` and emits one benchmark record per worker count.  Each
+record's ``extra_info`` carries ``jobs``, ``n_tests``, and — once the
+serial baseline has run — ``speedup_vs_jobs1``; the JSON hook in
+``conftest.py`` adds ``wall_clock_s`` and ``tests_per_sec``, so the
+emitted ``--benchmark-json`` is a ready-made scaling curve.
+
+The campaign deliberately bypasses the on-disk campaign cache: the
+point of this file is wall-clock, not the result.  Results across
+worker counts are asserted bit-identical (same histogram) — the
+engine's determinism guarantee, checked here on real work.
+
+Sized via ``FASTFIT_SCALING_POINTS`` / ``FASTFIT_SCALING_TESTS`` so CI
+can smoke it cheaply (see ``--jobs 2`` smoke in ci.yml) while a local
+run can use a big enough campaign for stable speedup numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+import common
+from repro.injection import Campaign
+
+N_POINTS = int(os.environ.get("FASTFIT_SCALING_POINTS", "8"))
+TESTS_PER_POINT = int(os.environ.get("FASTFIT_SCALING_TESTS", "25"))
+JOBS = (1, 2, 4)
+
+_serial_seconds: dict[str, float] = {}
+_histograms: dict[int, dict] = {}
+
+
+def _campaign_inputs():
+    app = common.get_app("lu")
+    profile = common.get_profile("lu")
+    points = common.get_representatives("lu")[:N_POINTS]
+    return app, profile, points
+
+
+@pytest.mark.parametrize("jobs", JOBS)
+def bench_campaign_scaling(benchmark, jobs):
+    app, profile, points = _campaign_inputs()
+
+    def run():
+        start = time.perf_counter()
+        result = Campaign(
+            app,
+            profile,
+            tests_per_point=TESTS_PER_POINT,
+            param_policy="all",
+            seed=2015,
+            jobs=jobs,
+        ).run(points)
+        _serial_seconds.setdefault(f"jobs{jobs}", time.perf_counter() - start)
+        return result
+
+    result = common.once(benchmark, run)
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["n_points"] = len(points)
+    serial = _serial_seconds.get("jobs1")
+    mine = _serial_seconds.get(f"jobs{jobs}")
+    if serial and mine:
+        benchmark.extra_info["speedup_vs_jobs1"] = serial / mine
+
+    # Determinism spot-check: every worker count sees the same outcomes.
+    _histograms[jobs] = result.outcome_histogram()
+    assert _histograms[jobs] == _histograms[min(_histograms)]

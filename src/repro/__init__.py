@@ -8,13 +8,15 @@ Public entry points:
 * :mod:`repro.apps` — the NPB-shaped kernels and mini-LAMMPS workloads;
 * :mod:`repro.profiling`, :mod:`repro.injection`, :mod:`repro.pruning`,
   :mod:`repro.ml`, :mod:`repro.analysis` — the component layers;
+* :mod:`repro.exec` — the parallel, resumable campaign engine;
 * :mod:`repro.obs` — tracing, metrics, and failure forensics.
 """
 
-from . import analysis, apps, injection, ml, obs, profiling, pruning, simmpi
-from .fastfit import FastFIT, FastFITReport, PruningReport
-
 __version__ = "1.0.0"
+
+from . import analysis, apps, injection, ml, obs, profiling, pruning, simmpi
+from . import exec as exec_  # noqa: F401 - also importable as repro.exec
+from .fastfit import FastFIT, FastFITReport, PruningReport
 
 __all__ = [
     "FastFIT",

@@ -62,6 +62,20 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         help='fault target policy: "buffer", "all", or a parameter name',
     )
     p.add_argument("--max-points", type=int, default=None, help="cap representative points")
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the campaign (results are bit-identical "
+        "to --jobs 1; default 1)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist completed work units here so an interrupted campaign "
+        "can be resumed",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume a matching interrupted campaign from --checkpoint-dir",
+    )
 
 
 def _tool(args: argparse.Namespace) -> FastFIT:
@@ -70,6 +84,9 @@ def _tool(args: argparse.Namespace) -> FastFIT:
         seed=args.seed,
         tests_per_point=getattr(args, "tests", 20),
         param_policy=getattr(args, "policy", "buffer"),
+        jobs=getattr(args, "jobs", 1),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -442,6 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(verbose=getattr(args, "verbose", 0), quiet=getattr(args, "quiet", False))
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     return args.fn(args)
 
 

@@ -1,0 +1,33 @@
+"""``repro.exec`` — the parallel, resumable campaign execution engine.
+
+A fault-injection campaign is a pure function of ``(app, nranks, seed,
+config)``: every test rebuilds its RNG from ``SeedSequence(seed,
+spawn_key=(point_index, test_index))``.  That purity is what this
+package exploits — work units of ``(point_index, test_range)`` can be
+sharded across a process pool in any order, on any number of workers,
+and the assembled :class:`~repro.injection.campaign.CampaignResult` is
+bit-identical to the serial run.
+
+Layers:
+
+* :mod:`repro.exec.sharding` — deterministic work-unit enumeration;
+* :mod:`repro.exec.checkpoint` — campaign digests and the atomic
+  checkpoint/resume store;
+* :mod:`repro.exec.parallel` — the :class:`ParallelCampaign` engine
+  (worker pool, result streaming, metrics merging).
+"""
+
+from .checkpoint import CheckpointMismatch, CheckpointStore, campaign_digest
+from .parallel import ParallelCampaign
+from .sharding import WorkUnit, default_unit_tests, make_units, units_of_point
+
+__all__ = [
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "ParallelCampaign",
+    "WorkUnit",
+    "campaign_digest",
+    "default_unit_tests",
+    "make_units",
+    "units_of_point",
+]

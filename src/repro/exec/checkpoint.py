@@ -1,0 +1,187 @@
+"""Campaign checkpoint/resume: digests and the on-disk store.
+
+An interrupted campaign should restart where it left off — but only if
+it is *the same campaign*.  :func:`campaign_digest` hashes everything a
+campaign's results are a function of (application identity and
+parameters, rank count, seed, tests per point, target policy, unit
+layout, the exact point list, algorithm selection, and the code
+version); the store refuses to resume from a checkpoint whose digest
+does not match.
+
+The store keeps two files in its directory:
+
+* ``units.pkl`` — an append-only stream of pickled records, one per
+  completed work unit (its id, its :class:`TestResult` list, and the
+  worker's metrics snapshot), headed by a digest record.  Appends are
+  flushed per unit; a torn final record (the process died mid-write) is
+  detected and dropped on load.
+* ``manifest.json`` — a periodically rewritten, atomically replaced
+  summary (digest, completed unit ids, totals) for humans and tooling;
+  the pickle stream remains the source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+from .. import __version__
+from ..apps.base import Application
+from ..injection.runner import TestResult
+from ..injection.space import InjectionPoint
+from ..obs.metrics import MetricsRegistry
+
+UNITS_FILE = "units.pkl"
+MANIFEST_FILE = "manifest.json"
+
+
+class CheckpointMismatch(RuntimeError):
+    """Resume requested against a checkpoint of a different campaign."""
+
+
+def campaign_digest(
+    app: Application,
+    seed: int,
+    tests_per_point: int,
+    param_policy: str,
+    unit_tests: int,
+    points: list[InjectionPoint],
+    algorithms: dict[str, str] | None = None,
+    code_version: str = __version__,
+) -> str:
+    """Hash of everything the campaign's results are a function of."""
+    payload = json.dumps(
+        {
+            "app": app.name,
+            "params": {k: repr(v) for k, v in sorted(app.params.items())},
+            "nranks": app.nranks,
+            "seed": seed,
+            "tests_per_point": tests_per_point,
+            "param_policy": param_policy,
+            "unit_tests": unit_tests,
+            "points": [
+                [p.rank, p.collective, p.site, p.invocation] for p in points
+            ],
+            "algorithms": dict(sorted((algorithms or {}).items())),
+            "code_version": code_version,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class CheckpointStore:
+    """Completed-unit persistence for one campaign run."""
+
+    def __init__(self, directory: str | os.PathLike, digest: str, flush_every: int = 1):
+        self.directory = Path(directory)
+        self.digest = digest
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.flush_every = flush_every
+        self.completed: dict[str, tuple[list[TestResult], MetricsRegistry | None]] = {}
+        self._fh = None
+        self._since_manifest = 0
+
+    @property
+    def units_path(self) -> Path:
+        return self.directory / UNITS_FILE
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_FILE
+
+    # -- lifecycle -----------------------------------------------------
+
+    def load(self, resume: bool) -> dict[str, tuple[list[TestResult], MetricsRegistry | None]]:
+        """Read completed units from disk and open the stream for appends.
+
+        ``resume=False`` discards any existing checkpoint and starts a
+        fresh stream.  ``resume=True`` replays a matching stream — a
+        digest mismatch raises :class:`CheckpointMismatch` instead of
+        silently throwing away (or worse, reusing) a different
+        campaign's results.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.completed = {}
+        if resume and self.units_path.exists():
+            with self.units_path.open("rb") as fh:
+                try:
+                    header = pickle.load(fh)
+                except (EOFError, pickle.UnpicklingError):
+                    header = None
+                if header is not None:
+                    found = header.get("digest") if isinstance(header, dict) else None
+                    if found != self.digest:
+                        raise CheckpointMismatch(
+                            f"checkpoint in {self.directory} belongs to a different "
+                            f"campaign (digest {found!r}, expected {self.digest!r}); "
+                            "delete it or run without --resume"
+                        )
+                    while True:
+                        try:
+                            record = pickle.load(fh)
+                        except (EOFError, pickle.UnpicklingError, AttributeError):
+                            break  # clean end of stream or torn final record
+                        if record.get("type") == "unit":
+                            self.completed[record["unit_id"]] = (
+                                record["tests"],
+                                record.get("metrics"),
+                            )
+        if self.completed:
+            # Append to the verified stream.
+            self._fh = self.units_path.open("ab")
+        else:
+            self._fh = self.units_path.open("wb")
+            pickle.dump({"digest": self.digest, "format": 1}, self._fh)
+            self._fh.flush()
+        return self.completed
+
+    def record(
+        self,
+        unit_id: str,
+        tests: list[TestResult],
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        """Persist one completed unit (flushed immediately)."""
+        if self._fh is None:
+            raise RuntimeError("CheckpointStore.load() must be called before record()")
+        self.completed[unit_id] = (tests, metrics)
+        pickle.dump(
+            {"type": "unit", "unit_id": unit_id, "tests": tests, "metrics": metrics},
+            self._fh,
+        )
+        self._fh.flush()
+        self._since_manifest += 1
+        if self._since_manifest >= self.flush_every:
+            self.write_manifest()
+
+    def write_manifest(self, total_units: int | None = None, complete: bool = False) -> None:
+        """Atomically rewrite the JSON manifest (tmp + rename)."""
+        manifest: dict[str, Any] = {
+            "digest": self.digest,
+            "completed": sorted(self.completed),
+            "n_completed": len(self.completed),
+            "complete": complete,
+        }
+        if total_units is not None:
+            manifest["total_units"] = total_units
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        os.replace(tmp, self.manifest_path)
+        self._since_manifest = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointStore":  # pragma: no cover - convenience
+        return self
+
+    def __exit__(self, *exc) -> None:  # pragma: no cover - convenience
+        self.close()

@@ -1,0 +1,267 @@
+"""The sharded campaign engine: a worker pool with deterministic results.
+
+Execution model
+---------------
+The campaign is cut into :class:`~repro.exec.sharding.WorkUnit` slices
+(`(point_index, test_range)`).  Each worker process is initialised
+exactly once with a pickled ``(app, profile, config)`` payload — the
+expensive :class:`~repro.profiling.profiler.ApplicationProfile` is
+never re-profiled — and then executes units streamed to it, rebuilding
+every test's RNG from ``SeedSequence(seed, spawn_key=(point_index,
+test_index))``.  Because the RNG derivation depends only on the unit's
+coordinates, the assembled result is **bit-identical to the serial
+run** regardless of worker count, unit size, or completion order.
+
+Workers record into private :class:`MetricsRegistry` snapshots that the
+parent merges (`campaign.tests`, `campaign.outcome.*`, `exec.unit_s`);
+point-level metrics (`campaign.points`, `campaign.point_error_rate`)
+are recorded by the parent at assembly time so the merged registry
+matches what a serial campaign would have recorded.
+
+With a checkpoint directory attached, every completed unit is persisted
+through :class:`~repro.exec.checkpoint.CheckpointStore`; an interrupted
+campaign restarted with ``resume=True`` replays the completed units
+from disk and only executes the remainder.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from ..apps.base import Application
+from ..injection.runner import InjectionRunner, TestResult
+from ..injection.space import FaultSpec, InjectionPoint
+from ..injection.targets import pick_target
+from ..obs.metrics import MetricsRegistry
+from ..profiling.profiler import ApplicationProfile
+from .checkpoint import CheckpointStore, campaign_digest
+from .sharding import WorkUnit, default_unit_tests, make_units, units_of_point
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..injection.campaign import Campaign, CampaignResult
+
+
+class _WorkerState:
+    """Per-process campaign state, built once at pool initialisation."""
+
+    def __init__(
+        self,
+        app: Application,
+        profile: ApplicationProfile,
+        param_policy: str,
+        seed: int,
+        algorithms: dict[str, str] | None,
+    ):
+        self.app = app
+        self.param_policy = param_policy
+        self.seed = seed
+        # The profile arrives pickled; the runner derives its hang budget
+        # from it without re-running the golden job.
+        self.runner = InjectionRunner(app, profile, algorithms=algorithms)
+
+    def execute(
+        self, unit: WorkUnit, point: InjectionPoint
+    ) -> tuple[str, list[TestResult], MetricsRegistry]:
+        """Run one work unit; return its results and metrics snapshot."""
+        registry = MetricsRegistry()
+        tests: list[TestResult] = []
+        with registry.time("exec.unit_s"):
+            for t in range(unit.test_start, unit.test_stop):
+                seq = np.random.SeedSequence(
+                    entropy=self.seed, spawn_key=(unit.point_index, t)
+                )
+                rng = np.random.default_rng(seq)
+                param = pick_target(rng, point.collective, self.param_policy)
+                tests.append(self.runner.run_one(FaultSpec(point, param, None), rng))
+        registry.counter("campaign.tests").inc(len(tests))
+        for test in tests:
+            registry.counter(f"campaign.outcome.{test.outcome.name}").inc()
+        return unit.unit_id, tests, registry
+
+
+#: Set by :func:`_init_worker` in each pool process.
+_WORKER: _WorkerState | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initialiser: unpickle the campaign state exactly once."""
+    global _WORKER
+    _WORKER = _WorkerState(*pickle.loads(payload))
+
+
+def _run_unit(task: tuple[WorkUnit, InjectionPoint]):
+    unit, point = task
+    assert _WORKER is not None, "worker pool used before initialisation"
+    return _WORKER.execute(unit, point)
+
+
+class ParallelCampaign:
+    """Sharded, resumable campaign execution.
+
+    Drop-in engine behind :class:`repro.injection.campaign.Campaign`:
+    ``Campaign(jobs=4).run(points)`` delegates here and returns a
+    :class:`CampaignResult` bit-identical to ``jobs=1``.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        profile: ApplicationProfile,
+        tests_per_point: int = 100,
+        param_policy: str = "buffer",
+        seed: int = 0,
+        jobs: int = 1,
+        unit_tests: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
+        progress_every: int = 1,
+        checkpoint_dir=None,
+        resume: bool = False,
+        checkpoint_every: int = 1,
+        algorithms: dict[str, str] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.app = app
+        self.profile = profile
+        self.tests_per_point = tests_per_point
+        self.param_policy = param_policy
+        self.seed = seed
+        self.jobs = jobs
+        self.unit_tests = unit_tests
+        self.progress = progress
+        self.progress_every = max(1, progress_every)
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.checkpoint_every = checkpoint_every
+        self.algorithms = algorithms
+        self.metrics = metrics
+
+    @classmethod
+    def from_campaign(cls, campaign: "Campaign") -> "ParallelCampaign":
+        return cls(
+            app=campaign.app,
+            profile=campaign.profile,
+            tests_per_point=campaign.tests_per_point,
+            param_policy=campaign.param_policy,
+            seed=campaign.seed,
+            jobs=campaign.jobs,
+            progress=campaign.progress,
+            progress_every=campaign.progress_every,
+            checkpoint_dir=campaign.checkpoint_dir,
+            resume=campaign.resume,
+            algorithms=campaign.algorithms,
+            metrics=campaign.metrics,
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, points: Sequence[InjectionPoint]) -> "CampaignResult":
+        from ..injection.campaign import CampaignResult, PointResult
+
+        points = list(points)
+        unit_tests = (
+            self.unit_tests
+            if self.unit_tests is not None
+            else default_unit_tests(self.tests_per_point)
+        )
+        units = make_units(len(points), self.tests_per_point, unit_tests)
+        total_tests = len(points) * self.tests_per_point
+
+        store: CheckpointStore | None = None
+        results: dict[str, list[TestResult]] = {}
+        if self.checkpoint_dir is not None:
+            digest = campaign_digest(
+                self.app,
+                self.seed,
+                self.tests_per_point,
+                self.param_policy,
+                unit_tests,
+                points,
+                algorithms=self.algorithms,
+            )
+            store = CheckpointStore(
+                self.checkpoint_dir, digest, flush_every=self.checkpoint_every
+            )
+            for unit_id, (tests, registry) in store.load(resume=self.resume).items():
+                results[unit_id] = tests
+                if self.metrics is not None and registry is not None:
+                    self.metrics.merge(registry)
+                if self.metrics is not None:
+                    self.metrics.counter("exec.units_resumed").inc()
+
+        known = {u.unit_id for u in units}
+        pending = [u for u in units if u.unit_id not in results]
+        done_tests = sum(len(results[uid]) for uid in results if uid in known)
+        done_units = 0
+        last_reported = -1
+
+        def report(force: bool = False) -> None:
+            nonlocal last_reported
+            if self.progress is None:
+                return
+            if force or done_units % self.progress_every == 0:
+                if done_tests != last_reported:
+                    self.progress(done_tests, total_tests)
+                    last_reported = done_tests
+
+        def complete(unit_id: str, tests: list[TestResult], registry: MetricsRegistry) -> None:
+            nonlocal done_tests, done_units
+            results[unit_id] = tests
+            done_tests += len(tests)
+            done_units += 1
+            if store is not None:
+                store.record(unit_id, tests, registry)
+            if self.metrics is not None:
+                self.metrics.merge(registry)
+                # Counted here, not in the worker snapshot, so replaying a
+                # checkpointed unit never inflates the executed-unit count.
+                self.metrics.counter("exec.units").inc()
+            report()
+
+        try:
+            if pending:
+                if self.jobs == 1:
+                    state = _WorkerState(
+                        self.app, self.profile, self.param_policy, self.seed, self.algorithms
+                    )
+                    for unit in pending:
+                        complete(*state.execute(unit, points[unit.point_index]))
+                else:
+                    payload = pickle.dumps(
+                        (self.app, self.profile, self.param_policy, self.seed, self.algorithms),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    tasks = [(u, points[u.point_index]) for u in pending]
+                    with multiprocessing.Pool(
+                        processes=min(self.jobs, max(1, len(pending))),
+                        initializer=_init_worker,
+                        initargs=(payload,),
+                    ) as pool:
+                        for unit_id, tests, registry in pool.imap_unordered(_run_unit, tasks):
+                            complete(unit_id, tests, registry)
+        finally:
+            if store is not None:
+                finished = all(u.unit_id in results for u in units)
+                store.write_manifest(total_units=len(units), complete=finished)
+                store.close()
+
+        report(force=True)
+
+        # -- deterministic assembly: point order, then test order ------
+        result = CampaignResult(self.app.name, self.tests_per_point, self.param_policy)
+        grouped = units_of_point(units)
+        for i, point in enumerate(points):
+            pr = PointResult(point)
+            for unit in grouped.get(i, ()):
+                for test in results[unit.unit_id]:
+                    pr.add(test)
+            result.points[point] = pr
+            if self.metrics is not None:
+                self.metrics.counter("campaign.points").inc()
+                self.metrics.histogram("campaign.point_error_rate").observe(pr.error_rate)
+        return result

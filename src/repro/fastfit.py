@@ -120,6 +120,9 @@ class FastFIT:
         tests_per_point: int = 40,
         param_policy: str = "buffer",
         metrics: MetricsRegistry | None = None,
+        jobs: int = 1,
+        checkpoint_dir=None,
+        resume: bool = False,
     ):
         self.app = app
         self.seed = seed
@@ -128,6 +131,12 @@ class FastFIT:
         #: Every phase records into this registry (``phase.*`` timers,
         #: ``prune.*``/``campaign.*``/``ml.*`` from the stages).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Worker processes for campaign execution (1 = classic serial
+        #: loop); campaigns shard across workers with bit-identical
+        #: results (see :mod:`repro.exec`).
+        self.jobs = jobs
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
         self._profile: ApplicationProfile | None = None
         self._pruning: PruningReport | None = None
 
@@ -182,9 +191,15 @@ class FastFIT:
             param_policy=self.param_policy,
             seed=self.seed,
             metrics=self.metrics,
+            jobs=self.jobs,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=self.resume,
         )
         logger.info(
-            "campaign: %d points x %d tests", len(list(points)), runner.tests_per_point
+            "campaign: %d points x %d tests (%d jobs)",
+            len(list(points)),
+            runner.tests_per_point,
+            self.jobs,
         )
         with self.metrics.time("phase.campaign_s"):
             return runner.run(points)

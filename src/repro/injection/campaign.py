@@ -3,8 +3,12 @@
 Implements the paper's § II methodology: at every selected injection
 point, run ``tests_per_point`` randomised single-bit-flip tests (100 in
 the paper) and tally the six response types.  Everything is driven by a
-single campaign seed, so a campaign is a pure function of
-``(app, points, config)``.
+single campaign seed — each test's RNG is rebuilt from
+``SeedSequence(seed, spawn_key=(point_index, test_index))`` — so a
+campaign is a pure function of ``(app, points, config)`` no matter how
+its tests are scheduled.  ``jobs > 1`` (or a checkpoint directory)
+delegates execution to the sharded engine in :mod:`repro.exec`, which
+produces bit-identical results to the serial loop.
 """
 
 from __future__ import annotations
@@ -25,14 +29,46 @@ from .targets import pick_target
 
 @dataclass
 class PointResult:
-    """Aggregated responses at one injection point."""
+    """Aggregated responses at one injection point.
+
+    Outcome tallies are maintained incrementally as tests are added via
+    :meth:`add`, so ``outcomes``/``error_rate`` are O(1) on the hot path
+    instead of rescanning the test list on every property access.  Code
+    that appends to ``tests`` directly still gets correct answers: a
+    cheap length check detects the stale tally and rebuilds it.
+    """
 
     point: InjectionPoint
     tests: list[TestResult] = field(default_factory=list)
+    _counts: Counter = field(default_factory=Counter, init=False, repr=False, compare=False)
+    _n_errors: int = field(default=0, init=False, repr=False, compare=False)
+    _tallied: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for t in self.tests:
+            self._tally(t)
+
+    def add(self, test: TestResult) -> None:
+        """Append one test and update the running tallies."""
+        self.tests.append(test)
+        self._tally(test)
+
+    def _tally(self, test: TestResult) -> None:
+        self._counts[test.outcome] += 1
+        if test.outcome.is_error:
+            self._n_errors += 1
+        self._tallied += 1
+
+    def _synced_counts(self) -> Counter:
+        if self._tallied != len(self.tests):
+            self._counts = Counter(t.outcome for t in self.tests)
+            self._n_errors = sum(1 for t in self.tests if t.outcome.is_error)
+            self._tallied = len(self.tests)
+        return self._counts
 
     @property
     def outcomes(self) -> Counter:
-        return Counter(t.outcome for t in self.tests)
+        return Counter(self._synced_counts())
 
     @property
     def n_tests(self) -> int:
@@ -43,11 +79,12 @@ class PointResult:
         """Fraction of tests with a non-SUCCESS response (§ II)."""
         if not self.tests:
             return 0.0
-        return sum(1 for t in self.tests if t.outcome.is_error) / len(self.tests)
+        self._synced_counts()
+        return self._n_errors / len(self.tests)
 
     def majority_outcome(self) -> Outcome:
         """The most frequent response (ties break in Table I order)."""
-        counts = self.outcomes
+        counts = self._synced_counts()
         best = max(counts.values())
         for outcome in OUTCOME_ORDER:
             if counts.get(outcome) == best:
@@ -81,8 +118,15 @@ class CampaignResult:
     def all_tests(self) -> list[TestResult]:
         return [t for pr in self.points.values() for t in pr.tests]
 
+    def n_tests(self) -> int:
+        """Total test count without materialising the flat list."""
+        return sum(len(pr.tests) for pr in self.points.values())
+
     def outcome_histogram(self) -> dict[Outcome, int]:
-        counts = Counter(t.outcome for t in self.all_tests())
+        # Sums the per-point incremental tallies: O(points), not O(tests).
+        counts: Counter = Counter()
+        for pr in self.points.values():
+            counts.update(pr._synced_counts())
         return {o: counts.get(o, 0) for o in OUTCOME_ORDER}
 
     def outcome_fractions(self) -> dict[Outcome, float]:
@@ -104,8 +148,9 @@ class CampaignResult:
     def by_param(self) -> dict[str, dict[Outcome, int]]:
         """Outcome histogram per injected parameter (Fig. 9 view)."""
         out: dict[str, Counter] = {}
-        for t in self.all_tests():
-            out.setdefault(t.spec.param, Counter())[t.outcome] += 1
+        for pr in self.points.values():
+            for t in pr.tests:
+                out.setdefault(t.spec.param, Counter())[t.outcome] += 1
         return {
             param: {o: c.get(o, 0) for o in OUTCOME_ORDER}
             for param, c in sorted(out.items())
@@ -124,7 +169,23 @@ class CampaignResult:
 
 
 class Campaign:
-    """Drives injection tests over a set of points."""
+    """Drives injection tests over a set of points.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for the campaign.  ``1`` (the default) runs the
+        classic in-process loop; anything else shards the work units
+        across a pool via :class:`repro.exec.ParallelCampaign` with
+        bit-identical results.
+    progress_every:
+        Emit the ``progress`` callback at most every N completed units
+        (points when serial, work units when parallel); the final update
+        always fires.
+    checkpoint_dir:
+        Directory for periodic campaign checkpoints; with ``resume=True``
+        a matching interrupted campaign restarts where it left off.
+    """
 
     def __init__(
         self,
@@ -136,6 +197,10 @@ class Campaign:
         progress: Callable[[int, int], None] | None = None,
         algorithms: dict[str, str] | None = None,
         metrics=None,
+        jobs: int = 1,
+        progress_every: int = 1,
+        checkpoint_dir=None,
+        resume: bool = False,
     ):
         self.app = app
         self.profile = profile
@@ -143,10 +208,19 @@ class Campaign:
         self.param_policy = param_policy
         self.seed = seed
         self.progress = progress
+        self.algorithms = algorithms
         #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set
         #: the campaign records test/outcome tallies and per-point timing
         #: under ``campaign.*``.
         self.metrics = metrics
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if progress_every < 1:
+            raise ValueError(f"progress_every must be >= 1, got {progress_every}")
+        self.jobs = jobs
+        self.progress_every = progress_every
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
         self.runner = InjectionRunner(app, profile, algorithms=algorithms)
 
     def _rng_for(self, point_index: int, test_index: int) -> np.random.Generator:
@@ -162,10 +236,10 @@ class Campaign:
             rng = self._rng_for(point_index, t)
             param = pick_target(rng, point.collective, self.param_policy)
             spec = FaultSpec(point, param, None)
-            pr.tests.append(self.runner.run_one(spec, rng))
+            pr.add(self.runner.run_one(spec, rng))
         if self.metrics is not None:
             self.metrics.counter("campaign.tests").inc(pr.n_tests)
-            for outcome, n in pr.outcomes.items():
+            for outcome, n in pr._synced_counts().items():
                 self.metrics.counter(f"campaign.outcome.{outcome.name}").inc(n)
             self.metrics.histogram("campaign.point_error_rate").observe(pr.error_rate)
         return pr
@@ -173,7 +247,12 @@ class Campaign:
     def run(self, points: Sequence[InjectionPoint] | Iterable[InjectionPoint]) -> CampaignResult:
         """Run the campaign over ``points`` (kept in the given order)."""
         points = list(points)
+        if self.jobs != 1 or self.checkpoint_dir is not None:
+            from ..exec.parallel import ParallelCampaign
+
+            return ParallelCampaign.from_campaign(self).run(points)
         result = CampaignResult(self.app.name, self.tests_per_point, self.param_policy)
+        n = len(points)
         for i, point in enumerate(points):
             if self.metrics is not None:
                 with self.metrics.time("campaign.point_s"):
@@ -181,6 +260,8 @@ class Campaign:
                 self.metrics.counter("campaign.points").inc()
             else:
                 result.points[point] = self.run_point(point, point_index=i)
-            if self.progress is not None:
-                self.progress(i + 1, len(points))
+            if self.progress is not None and (
+                (i + 1) % self.progress_every == 0 or i + 1 == n
+            ):
+                self.progress(i + 1, n)
         return result

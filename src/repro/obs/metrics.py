@@ -33,6 +33,9 @@ class Counter:
             raise ValueError(f"counters only increase; got {n}")
         self.value += n
 
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
 
 class Gauge:
     """A last-value-wins measurement."""
@@ -44,6 +47,10 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self.value = float(value)
+
+    def merge(self, other: "Gauge") -> None:
+        """Last-value-wins: the merged-in gauge is the newer reading."""
+        self.value = other.value
 
 
 class Timer:
@@ -75,6 +82,24 @@ class Timer:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Timer") -> None:
+        """Fold another timer's durations into this one.
+
+        Both timers must measure the same unit; count/total add, min/max
+        widen, so the merge is exactly what sequential recording of both
+        streams would have produced.
+        """
+        if other.unit != self.unit:
+            raise ValueError(
+                f"cannot merge timer in {other.unit!r} into timer in {self.unit!r}"
+            )
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -129,6 +154,21 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Exact aggregates (count/total/min/max) merge losslessly; the
+        quantile sample window is extended with the other histogram's
+        retained sample, bounded by the usual reservoir size.
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self._sample.extend(other._sample)
 
     def quantile(self, q: float) -> float:
         """Approximate quantile over the retained sample window."""
@@ -197,6 +237,25 @@ class MetricsRegistry:
     def time(self, name: str) -> Any:
         """Shorthand for ``timer(name).time()``."""
         return self.timer(name).time()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's metrics into this one, by name.
+
+        Used by the parallel campaign engine: each worker records into a
+        private registry, and the parent merges the snapshots so the
+        final registry matches what a serial run would have recorded.
+        Counters add, timers and histograms fold their aggregates
+        (min/max widen, samples concatenate under the reservoir bound),
+        and gauges take the merged-in value (last write wins).
+        """
+        for name, c in other._counters.items():
+            self.counter(name).merge(c)
+        for name, g in other._gauges.items():
+            self.gauge(name).merge(g)
+        for name, t in other._timers.items():
+            self.timer(name, unit=t.unit).merge(t)
+        for name, h in other._histograms.items():
+            self.histogram(name).merge(h)
 
     # -- export -------------------------------------------------------
 

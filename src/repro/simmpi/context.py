@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _PKG_DIR = os.path.dirname(os.path.abspath(__file__))
 _FIBER_FILE = os.path.join(_PKG_DIR, "fiber.py")
+_SCHEDULER_FILE = os.path.join(_PKG_DIR, "scheduler.py")
 
 #: Application phases recognised by the ``Phase`` ML feature (§ III-C).
 PHASES = ("init", "input", "compute", "end")
@@ -56,6 +57,9 @@ _COMM_CTRL_STEP = 255
 #: Point-to-point traffic is matched in a context-id space disjoint from
 #: collective traffic, as real MPI separates the two.
 P2P_CONTEXT_OFFSET = 1 << 30
+
+#: Shared weight-1 tick — scheduler treats syscalls as immutable.
+_PROGRESS_ONE = Progress(1)
 
 
 class Context:
@@ -98,7 +102,9 @@ class Context:
 
     def progress(self, weight: int = 1) -> Generator:
         """Report ``weight`` units of compute against the step budget."""
-        yield Progress(weight)
+        # Unit ticks dominate compute loops; reuse one shared syscall
+        # instead of allocating a fresh Progress per tick.
+        yield _PROGRESS_ONE if weight == 1 else Progress(weight)
 
     def app_error(self, message: str) -> None:
         """Abort the job from application error-handling code
@@ -125,7 +131,11 @@ class Context:
         frame = sys._getframe(1)
         while frame is not None:
             code = frame.f_code
-            if code.co_filename == _FIBER_FILE and code.co_name == "step":
+            # The trampoline is either Fiber.step or (on the inlined hot
+            # path) the scheduler's run loop — both end the app stack.
+            if (code.co_filename == _FIBER_FILE and code.co_name == "step") or (
+                code.co_filename == _SCHEDULER_FILE and code.co_name == "run"
+            ):
                 break
             raw.append((code.co_filename, code.co_name, frame.f_lineno))
             frame = frame.f_back

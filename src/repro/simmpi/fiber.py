@@ -17,12 +17,19 @@ from typing import Any, Generator
 
 
 class Syscall:
-    """Base class for everything a fiber may yield to the scheduler."""
+    """Base class for everything a fiber may yield to the scheduler.
+
+    Syscalls are created once per message on the simulator's hottest
+    path, so they are slotted plain-``__init__`` dataclasses (a frozen
+    dataclass pays an ``object.__setattr__`` per field on every
+    construction).  Treat instances as immutable: they are shared
+    between the yielding fiber and the scheduler's mailbox.
+    """
 
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Send(Syscall):
     """Buffered (non-blocking-complete) message send.
 
@@ -37,7 +44,7 @@ class Send(Syscall):
     payload: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Recv(Syscall):
     """Blocking receive; the scheduler resumes the fiber with the payload."""
 
@@ -47,7 +54,7 @@ class Recv(Syscall):
     tag: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Progress(Syscall):
     """A cooperative tick emitted from compute loops.
 
@@ -69,11 +76,15 @@ class FiberState(Enum):
 class Fiber:
     """One rank's execution context."""
 
-    __slots__ = ("rank", "gen", "state", "result", "error", "resume_value", "wait_reason")
+    __slots__ = ("rank", "gen", "send", "state", "result", "error", "resume_value", "wait_reason")
 
     def __init__(self, rank: int, gen: Generator[Syscall, Any, Any]):
         self.rank = rank
         self.gen = gen
+        #: The generator's bound ``send`` — cached so the scheduler's
+        #: trampoline advances the fiber without a per-step attribute
+        #: and descriptor lookup chain.
+        self.send = gen.send
         self.state = FiberState.READY
         self.result: Any = None
         self.error: BaseException | None = None
@@ -91,7 +102,7 @@ class Fiber:
         """
         value, self.resume_value = self.resume_value, None
         try:
-            return self.gen.send(value)
+            return self.send(value)
         except StopIteration as stop:
             self.state = FiberState.DONE
             self.result = stop.value

@@ -88,7 +88,12 @@ class Scheduler:
                     nbytes=len(call.payload),
                 )
         else:
-            self.mailbox.setdefault(key, deque()).append(call.payload)
+            # No setdefault: it would build a throwaway deque per send.
+            queue = self.mailbox.get(key)
+            if queue is None:
+                self.mailbox[key] = deque((call.payload,))
+            else:
+                queue.append(call.payload)
 
     def _handle_recv(self, fiber: Fiber, call: Recv) -> bool:
         """Returns True if the fiber stays ready (message available)."""
@@ -149,48 +154,102 @@ class Scheduler:
         Raises the first error any fiber produces (the whole job aborts,
         as with a default MPI error handler), :class:`DeadlockError` when
         no progress is possible, or :class:`StepBudgetExceeded`.
+
+        The loop is the simulator's hottest path: the fiber trampoline
+        is inlined (one cached ``gen.send`` call per step), syscalls are
+        dispatched on exact class identity (with an ``isinstance``
+        fallback for subclassed syscalls), and the step counter lives in
+        a local, written back on every exit path.  Send handling still
+        goes through :meth:`_handle_send` so subclasses can intercept
+        message traffic.
         """
-        self._ready: deque[Fiber] = deque(self.fibers)
-        while self._ready:
-            fiber = self._ready.popleft()
-            if fiber.state is not FiberState.READY:
-                continue
-            try:
-                call = fiber.step()
-            except SimMPIError:
-                fiber.state = FiberState.FAILED
-                raise
-            except BaseException as exc:
-                fiber.state = FiberState.FAILED
-                raise FiberCrashed(fiber.rank, exc) from exc
+        ready = self._ready = deque(self.fibers)
+        waiting = self.waiting
+        tracer = self.tracer
+        budget = self.step_budget
+        handle_send = self._handle_send
+        handle_recv = self._handle_recv
+        READY = FiberState.READY
+        DONE = FiberState.DONE
+        FAILED = FiberState.FAILED
+        steps = self.steps
+        try:
+            while ready:
+                fiber = ready.popleft()
+                if fiber.state is not READY:
+                    continue
+                # -- inlined fiber trampoline (see Fiber.step) --------
+                value = fiber.resume_value
+                fiber.resume_value = None
+                try:
+                    call = fiber.send(value)
+                except StopIteration as stop:  # fiber finished
+                    fiber.state = DONE
+                    fiber.result = stop.value
+                    continue
+                except SimMPIError:
+                    fiber.state = FAILED
+                    raise
+                except BaseException as exc:
+                    fiber.state = FAILED
+                    raise FiberCrashed(fiber.rank, exc) from exc
 
-            if call is None:  # fiber finished
-                continue
+                cls = call.__class__
+                if cls is Send:
+                    steps += 1
+                    if steps > budget:
+                        raise StepBudgetExceeded(budget, **self._forensics())
+                    if tracer is not None:
+                        tracer.emit(
+                            "send", fiber.rank,
+                            ctx=call.context_id, src=call.src, dst=call.dst,
+                            tag=call.tag, nbytes=len(call.payload),
+                        )
+                    handle_send(call)
+                    ready.append(fiber)
+                elif cls is Recv:
+                    steps += 1
+                    if steps > budget:
+                        raise StepBudgetExceeded(budget, **self._forensics())
+                    if handle_recv(fiber, call):
+                        ready.append(fiber)
+                elif cls is Progress:
+                    steps += call.weight
+                    if steps > budget:
+                        raise StepBudgetExceeded(budget, **self._forensics())
+                    ready.append(fiber)
+                # Subclassed syscalls take the original generic path.
+                elif isinstance(call, Send):
+                    steps += 1
+                    if steps > budget:
+                        raise StepBudgetExceeded(budget, **self._forensics())
+                    if tracer is not None:
+                        tracer.emit(
+                            "send", fiber.rank,
+                            ctx=call.context_id, src=call.src, dst=call.dst,
+                            tag=call.tag, nbytes=len(call.payload),
+                        )
+                    handle_send(call)
+                    ready.append(fiber)
+                elif isinstance(call, Recv):
+                    steps += 1
+                    if steps > budget:
+                        raise StepBudgetExceeded(budget, **self._forensics())
+                    if handle_recv(fiber, call):
+                        ready.append(fiber)
+                elif isinstance(call, Progress):
+                    steps += call.weight
+                    if steps > budget:
+                        raise StepBudgetExceeded(budget, **self._forensics())
+                    ready.append(fiber)
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"fiber {fiber.rank} yielded {call!r}")
 
-            self.steps += call.weight if isinstance(call, Progress) else 1
-            if self.steps > self.step_budget:
-                raise StepBudgetExceeded(self.step_budget, **self._forensics())
+                if not ready and waiting:
+                    raise self._deadlock()
+        finally:
+            self.steps = steps
 
-            if isinstance(call, Send):
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        "send", fiber.rank,
-                        ctx=call.context_id, src=call.src, dst=call.dst,
-                        tag=call.tag, nbytes=len(call.payload),
-                    )
-                self._handle_send(call)
-                self._ready.append(fiber)
-            elif isinstance(call, Recv):
-                if self._handle_recv(fiber, call):
-                    self._ready.append(fiber)
-            elif isinstance(call, Progress):
-                self._ready.append(fiber)
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"fiber {fiber.rank} yielded {call!r}")
-
-            if not self._ready and self.waiting:
-                raise self._deadlock()
-
-        if self.waiting:
+        if waiting:
             raise self._deadlock()
         return [f.result for f in self.fibers]

@@ -1,0 +1,130 @@
+"""Checkpoint store: digests, round trips, torn tails, mismatches."""
+
+import pickle
+
+import pytest
+
+from repro.apps import make_app
+from repro.exec.checkpoint import CheckpointMismatch, CheckpointStore, campaign_digest
+from repro.injection import FaultSpec, InjectionPoint, Outcome
+from repro.injection import TestResult as InjectionTestResult
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def app():
+    return make_app("lu", "T")
+
+
+def _points(n=2):
+    return [InjectionPoint(0, "Allreduce", f"f.py:{i}", 0) for i in range(n)]
+
+
+def _tests(point, n=3):
+    return [
+        InjectionTestResult(FaultSpec(point, "count", None), Outcome.SUCCESS, None)
+        for _ in range(n)
+    ]
+
+
+def _digest(app, **over):
+    kwargs = dict(
+        seed=0, tests_per_point=8, param_policy="buffer", unit_tests=2,
+        points=_points(), algorithms=None,
+    )
+    kwargs.update(over)
+    return campaign_digest(app, **kwargs)
+
+
+def test_digest_sensitive_to_every_config_axis(app):
+    base = _digest(app)
+    assert _digest(app) == base  # stable
+    assert _digest(app, seed=1) != base
+    assert _digest(app, tests_per_point=9) != base
+    assert _digest(app, param_policy="all") != base
+    assert _digest(app, unit_tests=4) != base
+    assert _digest(app, points=_points(3)) != base
+    assert _digest(app, algorithms={"bcast": "chain"}) != base
+    assert _digest(app, code_version="0.0.0") != base
+
+
+def test_round_trip_preserves_tests_and_metrics(tmp_path, app):
+    digest = _digest(app)
+    point = _points()[0]
+    store = CheckpointStore(tmp_path / "ck", digest)
+    assert store.load(resume=False) == {}
+    reg = MetricsRegistry()
+    reg.counter("campaign.tests").inc(3)
+    store.record("p0:t0-2", _tests(point, 2), reg)
+    store.record("p0:t2-4", _tests(point, 2), None)
+    store.close()
+
+    again = CheckpointStore(tmp_path / "ck", digest)
+    loaded = again.load(resume=True)
+    again.close()
+    assert set(loaded) == {"p0:t0-2", "p0:t2-4"}
+    tests, metrics = loaded["p0:t0-2"]
+    assert [t.outcome for t in tests] == [Outcome.SUCCESS, Outcome.SUCCESS]
+    assert metrics.counter("campaign.tests").value == 3
+    assert loaded["p0:t2-4"][1] is None
+
+
+def test_torn_final_record_is_dropped(tmp_path, app):
+    digest = _digest(app)
+    point = _points()[0]
+    store = CheckpointStore(tmp_path / "ck", digest)
+    store.load(resume=False)
+    store.record("p0:t0-2", _tests(point, 2), None)
+    store.record("p0:t2-4", _tests(point, 2), None)
+    store.close()
+    path = tmp_path / "ck" / "units.pkl"
+    data = path.read_bytes()
+    path.write_bytes(data[:-7])  # tear the last record mid-write
+
+    again = CheckpointStore(tmp_path / "ck", digest)
+    loaded = again.load(resume=True)
+    again.close()
+    assert set(loaded) == {"p0:t0-2"}
+
+
+def test_resume_with_wrong_digest_raises(tmp_path, app):
+    store = CheckpointStore(tmp_path / "ck", _digest(app))
+    store.load(resume=False)
+    store.record("p0:t0-2", _tests(_points()[0], 2), None)
+    store.close()
+
+    other = CheckpointStore(tmp_path / "ck", _digest(app, seed=99))
+    with pytest.raises(CheckpointMismatch):
+        other.load(resume=True)
+
+
+def test_fresh_start_discards_existing_checkpoint(tmp_path, app):
+    store = CheckpointStore(tmp_path / "ck", _digest(app))
+    store.load(resume=False)
+    store.record("p0:t0-2", _tests(_points()[0], 2), None)
+    store.close()
+
+    # Different digest but resume=False: old stream is overwritten.
+    fresh = CheckpointStore(tmp_path / "ck", _digest(app, seed=99))
+    assert fresh.load(resume=False) == {}
+    fresh.close()
+    with (tmp_path / "ck" / "units.pkl").open("rb") as fh:
+        header = pickle.load(fh)
+    assert header["digest"] == _digest(app, seed=99)
+
+
+def test_manifest_written_atomically(tmp_path, app):
+    digest = _digest(app)
+    store = CheckpointStore(tmp_path / "ck", digest, flush_every=1)
+    store.load(resume=False)
+    store.record("p0:t0-2", _tests(_points()[0], 2), None)
+    store.write_manifest(total_units=4, complete=False)
+    store.close()
+    import json
+
+    manifest = json.loads((tmp_path / "ck" / "manifest.json").read_text())
+    assert manifest["digest"] == digest
+    assert manifest["completed"] == ["p0:t0-2"]
+    assert manifest["total_units"] == 4
+    assert manifest["complete"] is False
+    assert not (tmp_path / "ck" / "manifest.json.tmp").exists()

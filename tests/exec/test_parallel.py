@@ -1,0 +1,198 @@
+"""Parallel engine: bit-identical sharded execution + resume semantics."""
+
+import pytest
+
+from repro.exec.parallel import ParallelCampaign
+from repro.injection import Campaign, enumerate_points
+from repro.obs.metrics import MetricsRegistry
+
+
+def campaign_signature(result):
+    """Everything the determinism guarantee covers: point order, per-test
+    fault specs, outcomes, injection records, and derived rates."""
+    sig = []
+    for point, pr in result.points.items():
+        sig.append(
+            (
+                point,
+                [
+                    (
+                        t.spec.point,
+                        t.spec.param,
+                        t.spec.bit,
+                        t.outcome,
+                        None if t.record is None else (t.record.bit, t.record.skipped),
+                    )
+                    for t in pr.tests
+                ],
+                pr.error_rate,
+            )
+        )
+    return sig
+
+
+@pytest.fixture(scope="module")
+def lu_points(lu_profile):
+    return enumerate_points(lu_profile)[:4]
+
+
+@pytest.fixture(scope="module")
+def serial_result(lu_app, lu_profile, lu_points):
+    return Campaign(
+        lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11
+    ).run(lu_points)
+
+
+class TestDeterminism:
+    def test_jobs4_bit_identical_to_jobs1(self, lu_app, lu_profile, lu_points, serial_result):
+        """The headline guarantee: a 4-worker NPB campaign reproduces the
+        serial run exactly — outcomes, error rates, per-test FaultSpecs."""
+        parallel = Campaign(
+            lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11, jobs=4
+        ).run(lu_points)
+        assert campaign_signature(parallel) == campaign_signature(serial_result)
+        assert parallel.outcome_histogram() == serial_result.outcome_histogram()
+
+    def test_unit_size_does_not_change_results(self, lu_app, lu_profile, lu_points, serial_result):
+        for unit_tests in (1, 2, 6):
+            engine = ParallelCampaign(
+                lu_app, lu_profile, tests_per_point=6, param_policy="all",
+                seed=11, jobs=2, unit_tests=unit_tests,
+            )
+            assert campaign_signature(engine.run(lu_points)) == campaign_signature(
+                serial_result
+            )
+
+    def test_parallel_metrics_match_serial(self, lu_app, lu_profile, lu_points):
+        serial, parallel = MetricsRegistry(), MetricsRegistry()
+        Campaign(
+            lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
+            metrics=serial,
+        ).run(lu_points)
+        Campaign(
+            lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
+            metrics=parallel, jobs=3,
+        ).run(lu_points)
+        s, p = serial.to_dict()["counters"], parallel.to_dict()["counters"]
+        campaign_keys = {k for k in s if k.startswith("campaign.")}
+        assert campaign_keys == {k for k in p if k.startswith("campaign.")}
+        assert all(s[k] == p[k] for k in campaign_keys)
+
+    def test_progress_reports_tests_and_throttles(self, lu_app, lu_profile, lu_points):
+        seen = []
+        Campaign(
+            lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
+            jobs=2, progress=lambda done, total: seen.append((done, total)),
+            progress_every=4,
+        ).run(lu_points)
+        total = 4 * 6
+        assert seen[-1] == (total, total)
+        assert all(t == total for _, t in seen)
+        done = [d for d, _ in seen]
+        assert done == sorted(done)
+        # Throttled: far fewer updates than completed units (12 units here).
+        assert len(seen) <= 5
+
+
+class TestResume:
+    def test_interrupted_campaign_resumes_to_identical_result(
+        self, tmp_path, lu_app, lu_profile, lu_points, serial_result
+    ):
+        """Kill a campaign mid-way; the resumed run must skip the
+        completed units and still produce the exact serial result."""
+        ckdir = tmp_path / "ck"
+
+        class Killed(RuntimeError):
+            pass
+
+        def killer(done_tests, total_tests):
+            if done_tests >= total_tests // 2:
+                raise Killed(f"simulated crash at {done_tests}/{total_tests}")
+
+        first = MetricsRegistry()
+        with pytest.raises(Killed):
+            Campaign(
+                lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
+                checkpoint_dir=ckdir, progress=killer, metrics=first,
+            ).run(lu_points)
+        units_before_crash = first.to_dict()["counters"]["exec.units"]
+        assert units_before_crash > 0
+
+        second = MetricsRegistry()
+        resumed = Campaign(
+            lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
+            checkpoint_dir=ckdir, resume=True, metrics=second,
+        ).run(lu_points)
+        assert campaign_signature(resumed) == campaign_signature(serial_result)
+        counters = second.to_dict()["counters"]
+        # The resumed run replayed the persisted units instead of re-running.
+        assert counters["exec.units_resumed"] >= units_before_crash
+        # 4 points x 3 units each (6 tests in units of 2).
+        assert counters["exec.units"] + counters["exec.units_resumed"] == 12
+        # Merged metrics still add up to the full campaign.
+        assert counters["campaign.tests"] == 4 * 6
+
+    def test_resume_with_parallel_workers(self, tmp_path, lu_app, lu_profile, lu_points, serial_result):
+        ckdir = tmp_path / "ck"
+        engine = ParallelCampaign(
+            lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
+            jobs=1, checkpoint_dir=ckdir, unit_tests=2,
+        )
+        # Complete only the first 5 units by faking an interrupt.
+        boom = RuntimeError("stop")
+        count = [0]
+
+        def stop_after(done, total):
+            count[0] += 1
+            if count[0] >= 5:
+                raise boom
+
+        engine.progress = stop_after
+        with pytest.raises(RuntimeError):
+            engine.run(lu_points)
+
+        # Resume under a different worker count — unit layout is stable.
+        resumed = Campaign(
+            lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
+            jobs=4, checkpoint_dir=ckdir, resume=True,
+        ).run(lu_points)
+        assert campaign_signature(resumed) == campaign_signature(serial_result)
+
+    def test_resume_of_complete_checkpoint_runs_nothing(
+        self, tmp_path, lu_app, lu_profile, lu_points, serial_result
+    ):
+        ckdir = tmp_path / "ck"
+        Campaign(
+            lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
+            jobs=2, checkpoint_dir=ckdir,
+        ).run(lu_points)
+        registry = MetricsRegistry()
+        replayed = Campaign(
+            lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
+            checkpoint_dir=ckdir, resume=True, metrics=registry,
+        ).run(lu_points)
+        assert campaign_signature(replayed) == campaign_signature(serial_result)
+        counters = registry.to_dict()["counters"]
+        assert "exec.units" not in counters  # nothing executed
+        assert counters["campaign.tests"] == 4 * 6
+
+    def test_config_change_refuses_stale_checkpoint(self, tmp_path, lu_app, lu_profile, lu_points):
+        from repro.exec import CheckpointMismatch
+
+        ckdir = tmp_path / "ck"
+        Campaign(
+            lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
+            checkpoint_dir=ckdir,
+        ).run(lu_points)
+        with pytest.raises(CheckpointMismatch):
+            Campaign(
+                lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=12,
+                checkpoint_dir=ckdir, resume=True,
+            ).run(lu_points)
+
+
+def test_campaign_rejects_bad_jobs(lu_app, lu_profile):
+    with pytest.raises(ValueError):
+        Campaign(lu_app, lu_profile, jobs=0)
+    with pytest.raises(ValueError):
+        Campaign(lu_app, lu_profile, progress_every=0)

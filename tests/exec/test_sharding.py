@@ -1,0 +1,74 @@
+"""Work-unit layout: deterministic, worker-count independent, complete."""
+
+import pytest
+
+from repro.exec.sharding import (
+    WorkUnit,
+    default_unit_tests,
+    make_units,
+    units_of_point,
+)
+
+
+def test_units_partition_every_test_exactly_once():
+    units = make_units(5, 13, unit_tests=4)
+    seen = set()
+    for u in units:
+        for t in range(u.test_start, u.test_stop):
+            key = (u.point_index, t)
+            assert key not in seen
+            seen.add(key)
+    assert seen == {(p, t) for p in range(5) for t in range(13)}
+
+
+def test_layout_is_deterministic_and_ordered():
+    a = make_units(3, 10, unit_tests=3)
+    b = make_units(3, 10, unit_tests=3)
+    assert a == b
+    assert a == sorted(a)  # canonical order: point-major, then test range
+
+
+def test_unit_ids_are_stable_keys():
+    units = make_units(2, 5, unit_tests=2)
+    assert [u.unit_id for u in units] == [
+        "p0:t0-2", "p0:t2-4", "p0:t4-5",
+        "p1:t0-2", "p1:t2-4", "p1:t4-5",
+    ]
+
+
+def test_default_unit_tests_bounds():
+    assert default_unit_tests(1) == 1
+    assert default_unit_tests(4) == 1
+    assert default_unit_tests(100) == 25
+    # Never zero, even for degenerate campaigns.
+    assert default_unit_tests(0) == 1
+
+
+def test_n_tests_and_grouping():
+    units = make_units(2, 7, unit_tests=3)
+    assert sum(u.n_tests for u in units) == 14
+    grouped = units_of_point(units)
+    assert set(grouped) == {0, 1}
+    for pi, group in grouped.items():
+        assert [u.point_index for u in group] == [pi] * len(group)
+        assert group == sorted(group, key=lambda u: u.test_start)
+
+
+def test_zero_points_or_tests_yield_no_units():
+    assert make_units(0, 10) == []
+    assert make_units(3, 0) == []
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        make_units(-1, 10)
+    with pytest.raises(ValueError):
+        make_units(1, -1)
+    with pytest.raises(ValueError):
+        make_units(1, 10, unit_tests=0)
+
+
+def test_workunit_accessors():
+    u = WorkUnit(3, 4, 9)
+    assert u.n_tests == 5
+    assert u.unit_id == "p3:t4-9"

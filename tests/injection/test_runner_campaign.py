@@ -116,3 +116,29 @@ class TestCampaign:
             progress=lambda done, total: seen.append((done, total)),
         ).run(points)
         assert seen == [(1, 2), (2, 2)]
+
+    def test_progress_throttled_serial(self, lu_app, lu_profile):
+        points = enumerate_points(lu_profile)[:5]
+        seen = []
+        Campaign(
+            lu_app,
+            lu_profile,
+            tests_per_point=2,
+            param_policy="buffer",
+            seed=0,
+            progress=lambda done, total: seen.append((done, total)),
+            progress_every=2,
+        ).run(points)
+        # Every 2nd point, plus the final (odd) one.
+        assert seen == [(2, 5), (4, 5), (5, 5)]
+
+    def test_incremental_tallies_survive_direct_append(self, lu_small_campaign):
+        pr = next(iter(lu_small_campaign.points.values()))
+        before = pr.outcomes
+        extra = pr.tests[0]
+        pr.tests.append(extra)  # legacy direct-append path
+        after = pr.outcomes
+        assert after[extra.outcome] == before[extra.outcome] + 1
+        assert sum(after.values()) == len(pr.tests)
+        pr.tests.pop()  # restore the shared session fixture
+        assert sum(pr.outcomes.values()) == len(pr.tests)

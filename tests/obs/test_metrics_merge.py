@@ -1,0 +1,101 @@
+"""MetricsRegistry.merge: the fold used by the parallel campaign engine."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry, Timer
+
+
+def test_counters_add():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("campaign.tests").inc(5)
+    b.counter("campaign.tests").inc(3)
+    b.counter("campaign.outcome.SUCCESS").inc(2)
+    a.merge(b)
+    assert a.counter("campaign.tests").value == 8
+    # Metrics only present in the other registry are created on merge.
+    assert a.counter("campaign.outcome.SUCCESS").value == 2
+    # The source registry is untouched.
+    assert b.counter("campaign.tests").value == 3
+
+
+def test_gauges_last_write_wins():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.gauge("campaign.progress").set(0.25)
+    b.gauge("campaign.progress").set(0.75)
+    a.merge(b)
+    assert a.gauge("campaign.progress").value == 0.75
+
+
+def test_timers_fold_like_sequential_recording():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for d in (1.0, 3.0):
+        a.timer("exec.unit_s").record(d)
+    for d in (0.5, 2.0, 10.0):
+        b.timer("exec.unit_s").record(d)
+
+    sequential = Timer()
+    for d in (1.0, 3.0, 0.5, 2.0, 10.0):
+        sequential.record(d)
+
+    a.merge(b)
+    merged = a.timer("exec.unit_s")
+    assert merged.to_dict() == sequential.to_dict()
+
+
+def test_timer_unit_mismatch_rejected():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.timer("sim.run", unit="s").record(1.0)
+    b.timer("sim.run", unit="steps").record(100)
+    with pytest.raises(ValueError, match="steps"):
+        a.merge(b)
+
+
+def test_empty_timer_merge_keeps_min_sentinel():
+    a = Timer()
+    a.record(2.0)
+    a.merge(Timer())
+    assert (a.count, a.min, a.max) == (1, 2.0, 2.0)
+
+
+def test_histograms_fold_aggregates_and_samples():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for v in (0.1, 0.9):
+        a.histogram("campaign.point_error_rate").observe(v)
+    for v in (0.0, 0.5):
+        b.histogram("campaign.point_error_rate").observe(v)
+
+    sequential = Histogram()
+    for v in (0.1, 0.9, 0.0, 0.5):
+        sequential.observe(v)
+
+    a.merge(b)
+    merged = a.histogram("campaign.point_error_rate")
+    assert merged.to_dict() == sequential.to_dict()
+    assert merged.quantile(1.0) == 0.9
+
+
+def test_merge_into_empty_registry_is_a_copy():
+    src = MetricsRegistry()
+    src.counter("campaign.tests").inc(7)
+    src.gauge("g").set(1.5)
+    src.timer("t").record(0.3)
+    src.histogram("h").observe(4.0)
+
+    dst = MetricsRegistry()
+    dst.merge(src)
+    assert dst.to_dict() == src.to_dict()
+
+
+def test_merge_many_worker_snapshots_matches_serial():
+    """The engine's actual usage: N worker registries folded into one."""
+    serial = MetricsRegistry()
+    parent = MetricsRegistry()
+    for worker in range(4):
+        snap = MetricsRegistry()
+        for i in range(worker + 1):
+            for reg in (serial, snap):
+                reg.counter("campaign.tests").inc()
+                reg.timer("exec.unit_s").record(0.1 * (worker + i + 1))
+                reg.histogram("rate").observe(i / 10)
+        parent.merge(snap)
+    assert parent.to_dict() == serial.to_dict()
