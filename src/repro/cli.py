@@ -34,6 +34,7 @@ from .analysis import (
     render_table,
 )
 from .apps import APPLICATIONS, make_app
+from .exec.checkpoint import CheckpointMismatch
 from .fastfit import FastFIT
 from .injection.campaign import Campaign
 from .injection.outcome import OUTCOME_ORDER, Outcome
@@ -76,6 +77,21 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="resume a matching interrupted campaign from --checkpoint-dir",
     )
+    p.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per work-unit attempt; a worker that "
+        "blows it is killed and the unit retried (parallel runs only)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="re-dispatches granted to a work unit whose worker died, "
+        "wedged, or crashed (default 2)",
+    )
+    p.add_argument(
+        "--no-quarantine", dest="quarantine", action="store_false",
+        help="abort the campaign when a unit exhausts its retries instead "
+        "of quarantining it with TOOL_ERROR verdicts",
+    )
 
 
 def _tool(args: argparse.Namespace) -> FastFIT:
@@ -87,6 +103,9 @@ def _tool(args: argparse.Namespace) -> FastFIT:
         jobs=getattr(args, "jobs", 1),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         resume=getattr(args, "resume", False),
+        unit_timeout=getattr(args, "unit_timeout", None),
+        max_retries=getattr(args, "max_retries", 2),
+        quarantine=getattr(args, "quarantine", True),
     )
 
 
@@ -462,7 +481,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
-    return args.fn(args)
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+    unit_timeout = getattr(args, "unit_timeout", None)
+    if unit_timeout is not None and unit_timeout <= 0:
+        print(f"--unit-timeout must be > 0 seconds, got {unit_timeout}", file=sys.stderr)
+        return 2
+    max_retries = getattr(args, "max_retries", 2)
+    if max_retries < 0:
+        print(f"--max-retries must be >= 0, got {max_retries}", file=sys.stderr)
+        return 2
+    try:
+        return args.fn(args)
+    except CheckpointMismatch as exc:
+        # A stale/foreign checkpoint is an operator error, not a crash:
+        # one line, exit 2, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,20 +11,27 @@ bit-identical to the serial run.
 Layers:
 
 * :mod:`repro.exec.sharding` — deterministic work-unit enumeration;
-* :mod:`repro.exec.checkpoint` — campaign digests and the atomic
-  checkpoint/resume store;
+* :mod:`repro.exec.checkpoint` — campaign digests and the atomic,
+  fsync-durable checkpoint/resume store;
+* :mod:`repro.exec.supervisor` — the fault-contained worker pool
+  (death/wedge detection, respawn, retries, quarantine);
 * :mod:`repro.exec.parallel` — the :class:`ParallelCampaign` engine
-  (worker pool, result streaming, metrics merging).
+  (unit scheduling, result streaming, metrics merging, quarantine
+  synthesis).
 """
 
 from .checkpoint import CheckpointMismatch, CheckpointStore, campaign_digest
 from .parallel import ParallelCampaign
 from .sharding import WorkUnit, default_unit_tests, make_units, units_of_point
+from .supervisor import SupervisedPool, SupervisorConfig, UnitFailedError
 
 __all__ = [
     "CheckpointMismatch",
     "CheckpointStore",
     "ParallelCampaign",
+    "SupervisedPool",
+    "SupervisorConfig",
+    "UnitFailedError",
     "WorkUnit",
     "campaign_digest",
     "default_unit_tests",

@@ -13,11 +13,14 @@ The store keeps two files in its directory:
 * ``units.pkl`` — an append-only stream of pickled records, one per
   completed work unit (its id, its :class:`TestResult` list, and the
   worker's metrics snapshot), headed by a digest record.  Appends are
-  flushed per unit; a torn final record (the process died mid-write) is
-  detected and dropped on load.
+  flushed *and fsynced* per unit, so a completed unit survives host
+  power loss, not just process death; a torn final record (the process
+  died mid-write) is detected and dropped on load.
 * ``manifest.json`` — a periodically rewritten, atomically replaced
-  summary (digest, completed unit ids, totals) for humans and tooling;
-  the pickle stream remains the source of truth.
+  summary (digest, completed unit ids, quarantined unit ids, totals)
+  for humans and tooling; the rename is followed by a directory fsync
+  so the replacement itself is durable.  The pickle stream remains the
+  source of truth.
 """
 
 from __future__ import annotations
@@ -138,8 +141,14 @@ class CheckpointStore:
         else:
             self._fh = self.units_path.open("wb")
             pickle.dump({"digest": self.digest, "format": 1}, self._fh)
-            self._fh.flush()
+            self._sync_stream()
         return self.completed
+
+    def _sync_stream(self) -> None:
+        """Flush and fsync the append stream: the unit is durable once
+        this returns, even against host power loss."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
 
     def record(
         self,
@@ -147,7 +156,7 @@ class CheckpointStore:
         tests: list[TestResult],
         metrics: MetricsRegistry | None = None,
     ) -> None:
-        """Persist one completed unit (flushed immediately)."""
+        """Persist one completed unit (flushed and fsynced immediately)."""
         if self._fh is None:
             raise RuntimeError("CheckpointStore.load() must be called before record()")
         self.completed[unit_id] = (tests, metrics)
@@ -155,13 +164,23 @@ class CheckpointStore:
             {"type": "unit", "unit_id": unit_id, "tests": tests, "metrics": metrics},
             self._fh,
         )
-        self._fh.flush()
+        self._sync_stream()
         self._since_manifest += 1
         if self._since_manifest >= self.flush_every:
             self.write_manifest()
 
-    def write_manifest(self, total_units: int | None = None, complete: bool = False) -> None:
-        """Atomically rewrite the JSON manifest (tmp + rename)."""
+    def write_manifest(
+        self,
+        total_units: int | None = None,
+        complete: bool = False,
+        quarantined: list[str] | None = None,
+    ) -> None:
+        """Atomically rewrite the JSON manifest (tmp + rename + dir fsync).
+
+        ``quarantined`` records units the supervisor gave up on; they
+        are *not* in ``completed`` (their results are synthetic), so a
+        resumed campaign retries them.
+        """
         manifest: dict[str, Any] = {
             "digest": self.digest,
             "completed": sorted(self.completed),
@@ -170,10 +189,24 @@ class CheckpointStore:
         }
         if total_units is not None:
             manifest["total_units"] = total_units
+        if quarantined is not None:
+            manifest["quarantined"] = sorted(quarantined)
         tmp = self.manifest_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
         os.replace(tmp, self.manifest_path)
+        # Durability of the rename itself: fsync the containing directory
+        # so a crash cannot resurrect the old manifest.
+        dir_fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
         self._since_manifest = 0
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (or before :meth:`load`)."""
+        return self._fh is None
 
     def close(self) -> None:
         if self._fh is not None:

@@ -1,4 +1,4 @@
-"""The sharded campaign engine: a worker pool with deterministic results.
+"""The sharded campaign engine: a supervised pool with deterministic results.
 
 Execution model
 ---------------
@@ -12,99 +12,60 @@ test_index))``.  Because the RNG derivation depends only on the unit's
 coordinates, the assembled result is **bit-identical to the serial
 run** regardless of worker count, unit size, or completion order.
 
+Execution is *supervised* (:class:`~repro.exec.supervisor.SupervisedPool`):
+a worker that dies or wedges mid-unit is respawned and its unit retried
+with backoff; a unit that keeps taking workers down is quarantined —
+its tests are recorded as synthetic ``TOOL_ERROR`` results (excluded
+from every paper-facing outcome rate) and the campaign finishes instead
+of aborting.  Retried units reproduce exactly what an undisturbed run
+would have produced, so supervision never perturbs determinism for
+successfully-executed units.
+
 Workers record into private :class:`MetricsRegistry` snapshots that the
 parent merges (`campaign.tests`, `campaign.outcome.*`, `exec.unit_s`);
 point-level metrics (`campaign.points`, `campaign.point_error_rate`)
 are recorded by the parent at assembly time so the merged registry
 matches what a serial campaign would have recorded.
 
-With a checkpoint directory attached, every completed unit is persisted
-through :class:`~repro.exec.checkpoint.CheckpointStore`; an interrupted
-campaign restarted with ``resume=True`` replays the completed units
-from disk and only executes the remainder.
+With a checkpoint directory attached, every successfully completed unit
+is persisted through :class:`~repro.exec.checkpoint.CheckpointStore`.
+Quarantined units are deliberately *not* persisted: a later
+``resume=True`` run retries them from scratch — self-healing across
+restarts when the fault was environmental.  ``KeyboardInterrupt`` tears
+the pool down, flushes the checkpoint manifest, and re-raises, so an
+interrupted campaign is always resumable.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import pickle
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from ..apps.base import Application
-from ..injection.runner import InjectionRunner, TestResult
+from ..injection.outcome import Outcome
+from ..injection.runner import TestResult
 from ..injection.space import FaultSpec, InjectionPoint
 from ..injection.targets import pick_target
 from ..obs.metrics import MetricsRegistry
 from ..profiling.profiler import ApplicationProfile
 from .checkpoint import CheckpointStore, campaign_digest
 from .sharding import WorkUnit, default_unit_tests, make_units, units_of_point
+from .supervisor import SupervisedPool, SupervisorConfig, WorkerState
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..injection.campaign import Campaign, CampaignResult
-
-
-class _WorkerState:
-    """Per-process campaign state, built once at pool initialisation."""
-
-    def __init__(
-        self,
-        app: Application,
-        profile: ApplicationProfile,
-        param_policy: str,
-        seed: int,
-        algorithms: dict[str, str] | None,
-    ):
-        self.app = app
-        self.param_policy = param_policy
-        self.seed = seed
-        # The profile arrives pickled; the runner derives its hang budget
-        # from it without re-running the golden job.
-        self.runner = InjectionRunner(app, profile, algorithms=algorithms)
-
-    def execute(
-        self, unit: WorkUnit, point: InjectionPoint
-    ) -> tuple[str, list[TestResult], MetricsRegistry]:
-        """Run one work unit; return its results and metrics snapshot."""
-        registry = MetricsRegistry()
-        tests: list[TestResult] = []
-        with registry.time("exec.unit_s"):
-            for t in range(unit.test_start, unit.test_stop):
-                seq = np.random.SeedSequence(
-                    entropy=self.seed, spawn_key=(unit.point_index, t)
-                )
-                rng = np.random.default_rng(seq)
-                param = pick_target(rng, point.collective, self.param_policy)
-                tests.append(self.runner.run_one(FaultSpec(point, param, None), rng))
-        registry.counter("campaign.tests").inc(len(tests))
-        for test in tests:
-            registry.counter(f"campaign.outcome.{test.outcome.name}").inc()
-        return unit.unit_id, tests, registry
-
-
-#: Set by :func:`_init_worker` in each pool process.
-_WORKER: _WorkerState | None = None
-
-
-def _init_worker(payload: bytes) -> None:
-    """Pool initialiser: unpickle the campaign state exactly once."""
-    global _WORKER
-    _WORKER = _WorkerState(*pickle.loads(payload))
-
-
-def _run_unit(task: tuple[WorkUnit, InjectionPoint]):
-    unit, point = task
-    assert _WORKER is not None, "worker pool used before initialisation"
-    return _WORKER.execute(unit, point)
+    from ..obs.events import Tracer
 
 
 class ParallelCampaign:
-    """Sharded, resumable campaign execution.
+    """Sharded, resumable, fault-contained campaign execution.
 
     Drop-in engine behind :class:`repro.injection.campaign.Campaign`:
     ``Campaign(jobs=4).run(points)`` delegates here and returns a
-    :class:`CampaignResult` bit-identical to ``jobs=1``.
+    :class:`CampaignResult` bit-identical to ``jobs=1`` for every unit
+    that executed successfully.
     """
 
     def __init__(
@@ -123,6 +84,10 @@ class ParallelCampaign:
         checkpoint_every: int = 1,
         algorithms: dict[str, str] | None = None,
         metrics: MetricsRegistry | None = None,
+        unit_timeout: float | None = None,
+        max_retries: int = 2,
+        quarantine: bool = True,
+        tracer: "Tracer | None" = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -140,6 +105,15 @@ class ParallelCampaign:
         self.checkpoint_every = checkpoint_every
         self.algorithms = algorithms
         self.metrics = metrics
+        self.supervisor_config = SupervisorConfig(
+            unit_timeout=unit_timeout,
+            max_retries=max_retries,
+            quarantine=quarantine,
+        )
+        self.tracer = tracer
+        #: Unit ids given up on during the last :meth:`run` (their tests
+        #: carry synthetic ``TOOL_ERROR`` verdicts).
+        self.quarantined: list[str] = []
 
     @classmethod
     def from_campaign(cls, campaign: "Campaign") -> "ParallelCampaign":
@@ -156,7 +130,40 @@ class ParallelCampaign:
             resume=campaign.resume,
             algorithms=campaign.algorithms,
             metrics=campaign.metrics,
+            unit_timeout=campaign.unit_timeout,
+            max_retries=campaign.max_retries,
+            quarantine=campaign.quarantine,
+            tracer=campaign.tracer,
         )
+
+    # -- quarantine synthesis ------------------------------------------
+
+    def _synthesize_quarantined(
+        self, unit: WorkUnit, point: InjectionPoint, reason: str
+    ) -> list[TestResult]:
+        """Synthetic ``TOOL_ERROR`` results for a given-up unit.
+
+        The fault specs are rebuilt through the same deterministic RNG
+        derivation the worker would have used, so the result records
+        *which* injections were abandoned — only the verdicts are
+        synthetic.
+        """
+        tests: list[TestResult] = []
+        for t in range(unit.test_start, unit.test_stop):
+            seq = np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(unit.point_index, t)
+            )
+            rng = np.random.default_rng(seq)
+            param = pick_target(rng, point.collective, self.param_policy)
+            tests.append(
+                TestResult(
+                    FaultSpec(point, param, None),
+                    Outcome.TOOL_ERROR,
+                    None,
+                    detail=f"unit {unit.unit_id} quarantined: {reason}",
+                )
+            )
+        return tests
 
     # -- execution -----------------------------------------------------
 
@@ -171,6 +178,7 @@ class ParallelCampaign:
         )
         units = make_units(len(points), self.tests_per_point, unit_tests)
         total_tests = len(points) * self.tests_per_point
+        self.quarantined = []
 
         store: CheckpointStore | None = None
         results: dict[str, list[TestResult]] = {}
@@ -223,10 +231,30 @@ class ParallelCampaign:
                 self.metrics.counter("exec.units").inc()
             report()
 
+        def give_up(unit: WorkUnit, point: InjectionPoint, reason: str) -> None:
+            """Record a quarantined unit: synthetic results, no checkpoint.
+
+            Skipping the checkpoint is deliberate — a ``resume=True``
+            restart retries the unit from scratch, which heals campaigns
+            whose failure cause was environmental.
+            """
+            nonlocal done_tests, done_units
+            tests = self._synthesize_quarantined(unit, point, reason)
+            results[unit.unit_id] = tests
+            self.quarantined.append(unit.unit_id)
+            done_tests += len(tests)
+            done_units += 1
+            if self.metrics is not None:
+                self.metrics.counter("campaign.tests").inc(len(tests))
+                self.metrics.counter(
+                    f"campaign.outcome.{Outcome.TOOL_ERROR.name}"
+                ).inc(len(tests))
+            report()
+
         try:
             if pending:
                 if self.jobs == 1:
-                    state = _WorkerState(
+                    state = WorkerState(
                         self.app, self.profile, self.param_policy, self.seed, self.algorithms
                     )
                     for unit in pending:
@@ -237,17 +265,43 @@ class ParallelCampaign:
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )
                     tasks = [(u, points[u.point_index]) for u in pending]
-                    with multiprocessing.Pool(
-                        processes=min(self.jobs, max(1, len(pending))),
-                        initializer=_init_worker,
-                        initargs=(payload,),
-                    ) as pool:
-                        for unit_id, tests, registry in pool.imap_unordered(_run_unit, tasks):
-                            complete(unit_id, tests, registry)
-        finally:
+                    pool = SupervisedPool(
+                        payload,
+                        jobs=min(self.jobs, max(1, len(pending))),
+                        config=self.supervisor_config,
+                        metrics=self.metrics,
+                        tracer=self.tracer,
+                    )
+                    events = pool.run(tasks)
+                    try:
+                        for event in events:
+                            if event[0] == "done":
+                                _, att, (unit_id, tests, registry) = event
+                                complete(unit_id, tests, registry)
+                            else:  # "quarantined"
+                                _, att, reason = event
+                                give_up(att.unit, att.point, reason)
+                    finally:
+                        # Tears the workers down on *any* exit from the
+                        # consuming loop, KeyboardInterrupt included.
+                        events.close()
+        except KeyboardInterrupt:
+            # Graceful interrupt: the pool is already down (generator
+            # close above); flush a resumable manifest before re-raising.
             if store is not None:
-                finished = all(u.unit_id in results for u in units)
-                store.write_manifest(total_units=len(units), complete=finished)
+                store.write_manifest(
+                    total_units=len(units), complete=False, quarantined=self.quarantined
+                )
+                store.close()
+            raise
+        finally:
+            if store is not None and not store.closed:
+                finished = all(u.unit_id in store.completed for u in units)
+                store.write_manifest(
+                    total_units=len(units),
+                    complete=finished,
+                    quarantined=self.quarantined,
+                )
                 store.close()
 
         report(force=True)

@@ -1,0 +1,494 @@
+"""Worker supervision: the fault-contained campaign execution core.
+
+FastFIT's premise is millions of unattended injection tests, which makes
+the harness itself a fault domain: a worker process can die (a real
+segfault in a native library, an ``os._exit`` in application code under
+test), wedge (runaway allocation, a pathological sim), or crash with a
+Python error the in-worker containment could not absorb.  A blind
+``Pool.imap_unordered`` loop turns any of those into a lost campaign.
+
+:class:`SupervisedPool` replaces it with an explicit supervision state
+machine.  Each worker slot is a dedicated process joined to the parent
+by a duplex pipe, so the parent always knows *which* unit a worker owns:
+
+* **death detection** — a worker's pipe hitting EOF (the kernel closes
+  it when the process dies, however it dies) immediately surfaces the
+  lost unit; the slot is respawned and the unit re-queued;
+* **wedge detection** — every dispatch carries a wall-clock deadline
+  (``unit_timeout``); a worker that blows it is killed, respawned, and
+  the unit re-queued;
+* **bounded retries** — each unit gets ``max_retries`` re-dispatches
+  with exponential backoff; because every test's RNG derives only from
+  ``(seed, point, test)``, a retried unit reproduces the exact results
+  an undisturbed run would have produced;
+* **quarantine** — a unit that keeps taking the harness down is
+  reported to the caller instead of aborting the campaign; the caller
+  records synthetic ``TOOL_ERROR`` results (kept out of all
+  paper-metric outcome rates) and carries on.
+
+Everything is observable: ``exec.retries`` / ``exec.worker_deaths`` /
+``exec.quarantined`` counters, and ``unit_retry`` / ``unit_quarantined``
+tracer events.
+
+The module also hosts the chaos hooks (``FASTFIT_CHAOS_*`` environment
+variables) that the chaos tests and the CI chaos smoke job use to make
+workers crash, raise, or hang deterministically.  They are read inside
+the worker only, never in the parent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from ..apps.base import Application
+from ..injection.runner import InjectionRunner, TestResult
+from ..injection.space import FaultSpec, InjectionPoint
+from ..injection.targets import pick_target
+from ..obs.metrics import MetricsRegistry
+from ..profiling.profiler import ApplicationProfile
+from .sharding import WorkUnit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.events import Tracer
+
+
+class UnitFailedError(RuntimeError):
+    """A work unit exhausted its retries and quarantine is disabled."""
+
+    def __init__(self, unit_id: str, attempts: int, reason: str):
+        self.unit_id = unit_id
+        self.attempts = attempts
+        self.reason = reason
+        super().__init__(
+            f"work unit {unit_id} failed {attempts} attempt(s) "
+            f"and quarantine is disabled: {reason}"
+        )
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Policy knobs of the supervision state machine.
+
+    Attributes
+    ----------
+    unit_timeout:
+        Wall-clock seconds one dispatch attempt may take before the
+        worker is declared wedged and killed (``None`` = no deadline).
+    max_retries:
+        Re-dispatches granted per unit after its first failure.
+    quarantine:
+        ``True``: exhausted units are reported as quarantined and the
+        campaign continues; ``False``: raise :class:`UnitFailedError`.
+    backoff_base / backoff_factor / backoff_max:
+        Exponential backoff between re-dispatches of the same unit:
+        attempt *n* waits ``min(backoff_max, backoff_base *
+        backoff_factor**(n-1))`` seconds.  Other units keep executing
+        during the wait.
+    poll_interval:
+        Upper bound on one supervision wait, so deadlines and backoff
+        promotions are checked even when no worker produces events.
+    """
+
+    unit_timeout: float | None = None
+    max_retries: int = 2
+    quarantine: bool = True
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    poll_interval: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValueError(f"unit_timeout must be > 0, got {self.unit_timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {self.poll_interval}")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before re-dispatch number ``attempt`` (1-based)."""
+        return min(self.backoff_max, self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+
+# -- worker side -------------------------------------------------------
+
+
+class WorkerState:
+    """Per-process campaign state, built once per worker (or once for
+    the whole campaign when ``jobs == 1``)."""
+
+    def __init__(
+        self,
+        app: Application,
+        profile: ApplicationProfile,
+        param_policy: str,
+        seed: int,
+        algorithms: dict[str, str] | None,
+    ):
+        self.app = app
+        self.param_policy = param_policy
+        self.seed = seed
+        # The profile arrives pickled; the runner derives its hang budget
+        # from it without re-running the golden job.
+        self.runner = InjectionRunner(app, profile, algorithms=algorithms)
+
+    def execute(
+        self, unit: WorkUnit, point: InjectionPoint
+    ) -> tuple[str, list[TestResult], MetricsRegistry]:
+        """Run one work unit; return its results and metrics snapshot."""
+        registry = MetricsRegistry()
+        tests: list[TestResult] = []
+        with registry.time("exec.unit_s"):
+            for t in range(unit.test_start, unit.test_stop):
+                seq = np.random.SeedSequence(
+                    entropy=self.seed, spawn_key=(unit.point_index, t)
+                )
+                rng = np.random.default_rng(seq)
+                param = pick_target(rng, point.collective, self.param_policy)
+                tests.append(self.runner.run_one(FaultSpec(point, param, None), rng))
+        registry.counter("campaign.tests").inc(len(tests))
+        for test in tests:
+            registry.counter(f"campaign.outcome.{test.outcome.name}").inc()
+        return unit.unit_id, tests, registry
+
+
+@dataclass(frozen=True)
+class _Chaos:
+    """Deterministic harness-fault injection, armed via environment.
+
+    ``FASTFIT_CHAOS_MODE``   — ``exit`` | ``raise`` | ``hang``;
+    ``FASTFIT_CHAOS_UNITS``  — comma-separated unit ids, or ``*``;
+    ``FASTFIT_CHAOS_ATTEMPTS`` — fire while ``attempt < N`` (default 1,
+    so only the first dispatch fails and retries heal), or ``all``.
+
+    Test/CI-only: read in worker processes, never in the parent, so the
+    profiling and assembly phases are unaffected.
+    """
+
+    mode: str = ""
+    units: frozenset[str] | None = None  # None = every unit
+    attempts: int | None = 1             # None = every attempt
+
+    @classmethod
+    def from_env(cls) -> "_Chaos":
+        mode = os.environ.get("FASTFIT_CHAOS_MODE", "").strip().lower()
+        if mode not in ("exit", "raise", "hang"):
+            return cls()
+        raw_units = os.environ.get("FASTFIT_CHAOS_UNITS", "*").strip()
+        units = None if raw_units == "*" else frozenset(
+            u.strip() for u in raw_units.split(",") if u.strip()
+        )
+        raw_attempts = os.environ.get("FASTFIT_CHAOS_ATTEMPTS", "1").strip().lower()
+        attempts = None if raw_attempts == "all" else int(raw_attempts)
+        return cls(mode=mode, units=units, attempts=attempts)
+
+    def fire(self, unit_id: str, attempt: int) -> None:
+        if not self.mode:
+            return
+        if self.units is not None and unit_id not in self.units:
+            return
+        if self.attempts is not None and attempt >= self.attempts:
+            return
+        if self.mode == "exit":
+            os._exit(43)
+        if self.mode == "raise":
+            raise RuntimeError(f"chaos: injected harness crash in {unit_id}")
+        while True:  # hang: wedge until the supervisor's deadline kills us
+            time.sleep(60)
+
+
+def _worker_main(payload: bytes, conn: Connection) -> None:
+    """Worker loop: build state once, then execute streamed tasks.
+
+    Protocol (parent → worker): ``("task", unit, point, attempt)`` or
+    ``("stop",)``.  Worker → parent: ``("ok", unit_id, tests, registry)``
+    or ``("error", unit_id, summary)``.  Any uncaught failure — or the
+    process dying outright — is observed by the parent as pipe EOF.
+    """
+    state = WorkerState(*pickle.loads(payload))
+    chaos = _Chaos.from_env()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if msg[0] == "stop":
+            return
+        _, unit, point, attempt = msg
+        try:
+            chaos.fire(unit.unit_id, attempt)
+            out = state.execute(unit, point)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return
+        except Exception as exc:
+            # In-worker boundary for harness code outside run_one's own
+            # containment (target picking, RNG rebuild, ...): report the
+            # crash instead of dying, so the slot survives for other
+            # units while this one is retried or quarantined.
+            conn.send(("error", unit.unit_id, f"{type(exc).__name__}: {exc}"))
+        else:
+            conn.send(("ok",) + out)
+
+
+# -- parent side -------------------------------------------------------
+
+
+@dataclass
+class _Attempt:
+    """One unit's journey through the retry state machine."""
+
+    unit: WorkUnit
+    point: InjectionPoint
+    failures: int = 0
+    last_reason: str = ""
+
+
+@dataclass
+class _Slot:
+    """One supervised worker: process + pipe + the unit it owns."""
+
+    proc: object
+    conn: Connection
+    task: _Attempt | None = None
+    deadline: float | None = None
+
+
+#: Supervision event tuples yielded by :meth:`SupervisedPool.run`.
+DONE = "done"
+QUARANTINED = "quarantined"
+
+
+class SupervisedPool:
+    """A self-healing worker pool executing campaign work units.
+
+    Usage::
+
+        pool = SupervisedPool(payload, jobs=4, config=SupervisorConfig(...))
+        for event in pool.run(tasks):
+            if event[0] == "done":
+                _, attempt, (unit_id, tests, registry) = event
+            else:  # "quarantined"
+                _, attempt, reason = event
+
+    ``run`` is a generator so the caller checkpoints and merges metrics
+    as units land; its ``finally`` tears the workers down on any exit,
+    including ``KeyboardInterrupt`` raised in the consuming loop.
+    """
+
+    def __init__(
+        self,
+        payload: bytes,
+        jobs: int,
+        config: SupervisorConfig,
+        metrics: MetricsRegistry | None = None,
+        tracer: "Tracer | None" = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.payload = payload
+        self.jobs = jobs
+        self.config = config
+        self.metrics = metrics
+        self.tracer = tracer
+        self._ctx = get_context()
+        self._slots: list[_Slot] = []
+
+    # -- slot lifecycle ------------------------------------------------
+
+    def _spawn_slot(self) -> _Slot:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main, args=(self.payload, child_conn), daemon=True
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only its end; EOF then tracks the child
+        slot = _Slot(proc=proc, conn=parent_conn)
+        return slot
+
+    def _discard_slot(self, slot: _Slot, kill: bool = False) -> None:
+        try:
+            slot.conn.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        proc = slot.proc
+        if kill and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - terminate resisted
+                proc.kill()
+        proc.join(timeout=5.0)
+
+    def _respawn(self, slot: _Slot, kill: bool = False) -> None:
+        self._discard_slot(slot, kill=kill)
+        fresh = self._spawn_slot()
+        slot.proc, slot.conn = fresh.proc, fresh.conn
+        slot.task, slot.deadline = None, None
+
+    def _shutdown(self) -> None:
+        for slot in self._slots:
+            if slot.task is None and slot.proc.is_alive():
+                try:
+                    slot.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for slot in self._slots:
+            self._discard_slot(slot, kill=True)
+        self._slots = []
+
+    # -- accounting ----------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _emit(self, kind: str, att: _Attempt, reason: str) -> None:
+        if self.tracer is not None:
+            # Supervision events are parent-side: rank -1 marks "no rank".
+            self.tracer.emit(
+                kind, -1,
+                unit=att.unit.unit_id, attempt=att.failures, reason=reason,
+            )
+
+    # -- the supervision loop ------------------------------------------
+
+    def run(self, tasks: Sequence[tuple[WorkUnit, InjectionPoint]]) -> Iterator[tuple]:
+        """Supervised execution of ``tasks``; yields completion events.
+
+        Yields ``("done", attempt, (unit_id, tests, registry))`` for each
+        finished unit and ``("quarantined", attempt, reason)`` for each
+        unit given up on (quarantine mode only).  Order follows
+        completion, not submission — the caller re-assembles
+        deterministically by unit id.
+        """
+        cfg = self.config
+        pending: deque[_Attempt] = deque(_Attempt(u, p) for u, p in tasks)
+        backoff: list[tuple[float, int, _Attempt]] = []  # (eligible_at, tiebreak, att)
+        backoff_seq = 0
+        in_flight = 0
+
+        self._slots = [
+            self._spawn_slot() for _ in range(min(self.jobs, max(1, len(pending))))
+        ]
+
+        def fail(att: _Attempt, reason: str) -> tuple | None:
+            """Retry-or-quarantine; returns an event to yield, if any."""
+            nonlocal backoff_seq
+            att.failures += 1
+            att.last_reason = reason
+            if att.failures > cfg.max_retries:
+                self._count("exec.quarantined")
+                self._emit("unit_quarantined", att, reason)
+                if not cfg.quarantine:
+                    raise UnitFailedError(att.unit.unit_id, att.failures, reason)
+                return (QUARANTINED, att, reason)
+            self._count("exec.retries")
+            self._emit("unit_retry", att, reason)
+            delay = cfg.backoff(att.failures)
+            backoff_seq += 1
+            heapq.heappush(
+                backoff, (time.monotonic() + delay, backoff_seq, att)
+            )
+            return None
+
+        def dispatch(slot: _Slot, att: _Attempt) -> tuple | None:
+            """Hand a unit to a worker; a send failure is a worker death."""
+            nonlocal in_flight
+            try:
+                slot.conn.send(("task", att.unit, att.point, att.failures))
+            except (BrokenPipeError, OSError):
+                self._count("exec.worker_deaths")
+                self._respawn(slot)
+                return fail(att, "worker died before dispatch")
+            slot.task = att
+            slot.deadline = (
+                None if cfg.unit_timeout is None
+                else time.monotonic() + cfg.unit_timeout
+            )
+            in_flight += 1
+            return None
+
+        try:
+            while pending or backoff or in_flight:
+                now = time.monotonic()
+                while backoff and backoff[0][0] <= now:
+                    pending.append(heapq.heappop(backoff)[2])
+                for slot in self._slots:
+                    if slot.task is None and pending:
+                        event = dispatch(slot, pending.popleft())
+                        if event is not None:
+                            yield event
+
+                # How long may we sleep? Until the nearest deadline or
+                # backoff promotion, bounded by the poll interval.
+                timeout = cfg.poll_interval
+                now = time.monotonic()
+                for slot in self._slots:
+                    if slot.deadline is not None and slot.task is not None:
+                        timeout = min(timeout, max(0.0, slot.deadline - now))
+                if backoff:
+                    timeout = min(timeout, max(0.0, backoff[0][0] - now))
+
+                busy = {
+                    slot.conn: slot for slot in self._slots if slot.task is not None
+                }
+                if busy:
+                    for conn in connection_wait(list(busy), timeout):
+                        slot = busy[conn]
+                        att = slot.task
+                        try:
+                            msg = conn.recv()
+                        except (EOFError, OSError):
+                            # Pipe EOF: the worker died mid-unit, however
+                            # it died (os._exit, signal, native crash).
+                            self._count("exec.worker_deaths")
+                            in_flight -= 1
+                            self._respawn(slot)
+                            event = fail(att, "worker process died mid-unit")
+                            if event is not None:
+                                yield event
+                            continue
+                        in_flight -= 1
+                        slot.task, slot.deadline = None, None
+                        if msg[0] == "ok":
+                            yield (DONE, att, msg[1:])
+                        else:  # ("error", unit_id, summary)
+                            event = fail(att, f"worker crashed: {msg[2]}")
+                            if event is not None:
+                                yield event
+                elif backoff:
+                    # Nothing running, everything in backoff: sleep it off.
+                    time.sleep(max(0.0, backoff[0][0] - time.monotonic()))
+
+                # Deadline enforcement: kill wedged workers.
+                now = time.monotonic()
+                for slot in self._slots:
+                    if (
+                        slot.task is not None
+                        and slot.deadline is not None
+                        and now >= slot.deadline
+                    ):
+                        att = slot.task
+                        self._count("exec.worker_deaths")
+                        in_flight -= 1
+                        self._respawn(slot, kill=True)
+                        event = fail(
+                            att,
+                            f"unit exceeded its {cfg.unit_timeout:.1f}s deadline; "
+                            "worker killed",
+                        )
+                        if event is not None:
+                            yield event
+        finally:
+            self._shutdown()

@@ -123,13 +123,19 @@ class FastFIT:
         jobs: int = 1,
         checkpoint_dir=None,
         resume: bool = False,
+        unit_timeout: float | None = None,
+        max_retries: int = 2,
+        quarantine: bool = True,
+        tracer=None,
     ):
         self.app = app
         self.seed = seed
         self.tests_per_point = tests_per_point
         self.param_policy = param_policy
         #: Every phase records into this registry (``phase.*`` timers,
-        #: ``prune.*``/``campaign.*``/``ml.*`` from the stages).
+        #: ``prune.*``/``campaign.*``/``ml.*`` from the stages, plus the
+        #: supervision counters ``exec.retries``/``exec.worker_deaths``/
+        #: ``exec.quarantined``).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Worker processes for campaign execution (1 = classic serial
         #: loop); campaigns shard across workers with bit-identical
@@ -137,6 +143,12 @@ class FastFIT:
         self.jobs = jobs
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
+        #: Supervision policy for parallel campaigns (see
+        #: :class:`~repro.exec.supervisor.SupervisorConfig`).
+        self.unit_timeout = unit_timeout
+        self.max_retries = max_retries
+        self.quarantine = quarantine
+        self.tracer = tracer
         self._profile: ApplicationProfile | None = None
         self._pruning: PruningReport | None = None
 
@@ -194,6 +206,10 @@ class FastFIT:
             jobs=self.jobs,
             checkpoint_dir=self.checkpoint_dir,
             resume=self.resume,
+            unit_timeout=self.unit_timeout,
+            max_retries=self.max_retries,
+            quarantine=self.quarantine,
+            tracer=self.tracer,
         )
         logger.info(
             "campaign: %d points x %d tests (%d jobs)",

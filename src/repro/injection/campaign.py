@@ -42,6 +42,7 @@ class PointResult:
     tests: list[TestResult] = field(default_factory=list)
     _counts: Counter = field(default_factory=Counter, init=False, repr=False, compare=False)
     _n_errors: int = field(default=0, init=False, repr=False, compare=False)
+    _n_excluded: int = field(default=0, init=False, repr=False, compare=False)
     _tallied: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -57,12 +58,17 @@ class PointResult:
         self._counts[test.outcome] += 1
         if test.outcome.is_error:
             self._n_errors += 1
+        if not test.outcome.is_application_response:
+            self._n_excluded += 1
         self._tallied += 1
 
     def _synced_counts(self) -> Counter:
         if self._tallied != len(self.tests):
             self._counts = Counter(t.outcome for t in self.tests)
             self._n_errors = sum(1 for t in self.tests if t.outcome.is_error)
+            self._n_excluded = sum(
+                1 for t in self.tests if not t.outcome.is_application_response
+            )
             self._tallied = len(self.tests)
         return self._counts
 
@@ -75,21 +81,41 @@ class PointResult:
         return len(self.tests)
 
     @property
-    def error_rate(self) -> float:
-        """Fraction of tests with a non-SUCCESS response (§ II)."""
-        if not self.tests:
-            return 0.0
+    def n_tool_errors(self) -> int:
+        """Tests with a harness-level ``TOOL_ERROR`` verdict (excluded
+        from every paper-facing rate)."""
         self._synced_counts()
-        return self._n_errors / len(self.tests)
+        return self._n_excluded
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of tests with a non-SUCCESS response (§ II).
+
+        Harness-level ``TOOL_ERROR`` verdicts are excluded from both the
+        numerator and the denominator — they say nothing about the
+        application's sensitivity.
+        """
+        self._synced_counts()
+        responses = len(self.tests) - self._n_excluded
+        if responses <= 0:
+            return 0.0
+        return self._n_errors / responses
 
     def majority_outcome(self) -> Outcome:
-        """The most frequent response (ties break in Table I order)."""
+        """The most frequent *application* response (ties break in
+        Table I order).  TOOL_ERROR verdicts never win; a degenerate
+        point whose every test failed at the harness level reports
+        SUCCESS-by-absence and should be judged via
+        :attr:`n_tool_errors` instead."""
         counts = self._synced_counts()
-        best = max(counts.values())
-        for outcome in OUTCOME_ORDER:
-            if counts.get(outcome) == best:
-                return outcome
-        return Outcome.SUCCESS  # pragma: no cover - tests is never empty here
+        best = max(
+            (counts[o] for o in OUTCOME_ORDER if o in counts), default=0
+        )
+        if best:
+            for outcome in OUTCOME_ORDER:
+                if counts.get(outcome) == best:
+                    return outcome
+        return Outcome.SUCCESS
 
     def detail_samples(self) -> dict[Outcome, str]:
         """One representative ``detail`` string per observed outcome.
@@ -124,10 +150,17 @@ class CampaignResult:
 
     def outcome_histogram(self) -> dict[Outcome, int]:
         # Sums the per-point incremental tallies: O(points), not O(tests).
+        # Covers OUTCOME_ORDER only, so TOOL_ERROR verdicts never leak
+        # into paper-metric outcome rates (see tool_error_count()).
         counts: Counter = Counter()
         for pr in self.points.values():
             counts.update(pr._synced_counts())
         return {o: counts.get(o, 0) for o in OUTCOME_ORDER}
+
+    def tool_error_count(self) -> int:
+        """Campaign-wide count of harness-level ``TOOL_ERROR`` verdicts
+        (quarantined units, contained simulator crashes)."""
+        return sum(pr.n_tool_errors for pr in self.points.values())
 
     def outcome_fractions(self) -> dict[Outcome, float]:
         hist = self.outcome_histogram()
@@ -185,6 +218,17 @@ class Campaign:
     checkpoint_dir:
         Directory for periodic campaign checkpoints; with ``resume=True``
         a matching interrupted campaign restarts where it left off.
+    unit_timeout:
+        Wall-clock seconds a parallel work unit may run per dispatch
+        attempt before its worker is declared wedged and killed
+        (``None`` = no deadline; ignored when ``jobs == 1``).
+    max_retries:
+        Re-dispatches granted to a unit whose worker died, wedged, or
+        crashed before it is given up on.
+    quarantine:
+        When a unit exhausts its retries: ``True`` records synthetic
+        ``TOOL_ERROR`` results and the campaign continues; ``False``
+        aborts with :class:`~repro.exec.supervisor.UnitFailedError`.
     """
 
     def __init__(
@@ -201,6 +245,10 @@ class Campaign:
         progress_every: int = 1,
         checkpoint_dir=None,
         resume: bool = False,
+        unit_timeout: float | None = None,
+        max_retries: int = 2,
+        quarantine: bool = True,
+        tracer=None,
     ):
         self.app = app
         self.profile = profile
@@ -217,10 +265,20 @@ class Campaign:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if progress_every < 1:
             raise ValueError(f"progress_every must be >= 1, got {progress_every}")
+        if unit_timeout is not None and unit_timeout <= 0:
+            raise ValueError(f"unit_timeout must be > 0 seconds, got {unit_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.jobs = jobs
         self.progress_every = progress_every
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
+        self.unit_timeout = unit_timeout
+        self.max_retries = max_retries
+        self.quarantine = quarantine
+        #: Optional :class:`~repro.obs.events.Tracer` receiving
+        #: supervision events (``unit_retry``/``unit_quarantined``).
+        self.tracer = tracer
         self.runner = InjectionRunner(app, profile, algorithms=algorithms)
 
     def _rng_for(self, point_index: int, test_index: int) -> np.random.Generator:

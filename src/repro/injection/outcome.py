@@ -11,6 +11,15 @@ Classification precedence follows what a real job launcher observes:
    harness budget, the paper's timeout) → ``INF_LOOP``;
 5. the job exited cleanly: results match the golden run → ``SUCCESS``,
    otherwise → ``WRONG_ANS``.
+
+One extra member sits outside the paper's taxonomy: ``TOOL_ERROR``
+marks a test whose *harness* failed — the simulator crashed on an
+unclassifiable Python error, or a worker process died repeatedly and
+the unit was quarantined.  It is an infrastructure verdict, not an
+application response, so it is excluded from every paper-facing
+statistic: :data:`OUTCOME_ORDER` (rendering, histograms, ML labels)
+does not contain it, :attr:`Outcome.is_error` is ``False`` for it, and
+error-rate denominators skip it.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from ..simmpi import (
 
 
 class Outcome(str, Enum):
-    """Application response types, exactly as in the paper's Table I."""
+    """Application response types (Table I), plus the harness verdict."""
 
     SUCCESS = "SUCCESS"
     APP_DETECTED = "APP_DETECTED"
@@ -36,14 +45,26 @@ class Outcome(str, Enum):
     SEG_FAULT = "SEG_FAULT"
     WRONG_ANS = "WRONG_ANS"
     INF_LOOP = "INF_LOOP"
+    #: The harness itself failed (simulator crash, quarantined unit) —
+    #: not one of the paper's six application responses.
+    TOOL_ERROR = "TOOL_ERROR"
+
+    @property
+    def is_application_response(self) -> bool:
+        """True for the paper's six Table I classes; False for
+        harness-level ``TOOL_ERROR`` verdicts."""
+        return self is not Outcome.TOOL_ERROR
 
     @property
     def is_error(self) -> bool:
-        """Everything but SUCCESS counts toward the paper's error rate."""
-        return self is not Outcome.SUCCESS
+        """Everything but SUCCESS counts toward the paper's error rate
+        — except TOOL_ERROR, which is no application response at all."""
+        return self is not Outcome.SUCCESS and self is not Outcome.TOOL_ERROR
 
 
 #: Fixed rendering/iteration order matching the paper's figures.
+#: Deliberately excludes TOOL_ERROR: sensitivity statistics, histograms,
+#: and ML labels cover application responses only.
 OUTCOME_ORDER: tuple[Outcome, ...] = (
     Outcome.SUCCESS,
     Outcome.APP_DETECTED,

@@ -13,9 +13,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..apps.base import Application
-from ..obs.forensics import describe_fault, failure_detail
+from ..obs.forensics import describe_fault, failure_detail, harness_failure_detail
 from ..profiling.profiler import ApplicationProfile, profile_application
 from ..simmpi import SimMPIError, run_app
+from ..simmpi.memory import DEFAULT_ARENA_SIZE
 from .injector import FaultInjector, InjectionRecord
 from .outcome import Outcome, classify_exception
 from .space import FaultSpec
@@ -50,9 +51,14 @@ class InjectionRunner:
         budget_factor: int = DEFAULT_BUDGET_FACTOR,
         min_budget: int = MIN_BUDGET,
         algorithms: dict[str, str] | None = None,
+        alloc_cap: int | None = DEFAULT_ARENA_SIZE,
     ):
         self.app = app
         self.algorithms = algorithms
+        #: Per-rank single-allocation cap (bytes) for injected runs: a
+        #: corrupted size reaching ``ctx.alloc`` raises the simulated
+        #: segfault path instead of attempting a host-sized allocation.
+        self.alloc_cap = alloc_cap
         self.profile = (
             profile
             if profile is not None
@@ -97,6 +103,7 @@ class InjectionRunner:
                     instruments=[injector],
                     step_budget=self.step_budget,
                     algorithms=self.algorithms,
+                    alloc_cap=self.alloc_cap,
                     tracer=tracer,
                 )
         except SimMPIError as exc:
@@ -107,8 +114,33 @@ class InjectionRunner:
                 injector.record,
                 detail=failure_detail(exc, injector.record),
             )
+        except Exception as exc:
+            # Last-resort containment: the *harness* failed, not the
+            # simulated application — a MemoryError, RecursionError, or
+            # numpy crash provoked by a corrupted parameter must not
+            # abort a million-test campaign.  Classify with forensics
+            # instead of propagating; KeyboardInterrupt/SystemExit still
+            # pass through so the campaign driver can shut down cleanly.
+            self.last_exception = None
+            return TestResult(
+                spec,
+                Outcome.TOOL_ERROR,
+                injector.record,
+                detail=harness_failure_detail(exc, injector.record),
+            )
 
-        if self.app.compare(self.golden_results, result.results):
+        try:
+            matches = self.app.compare(self.golden_results, result.results)
+        except Exception as exc:
+            # The golden comparison choked on corrupted results — still a
+            # harness fault, contained the same way as a crashed run.
+            return TestResult(
+                spec,
+                Outcome.TOOL_ERROR,
+                injector.record,
+                detail=harness_failure_detail(exc, injector.record),
+            )
+        if matches:
             return TestResult(spec, Outcome.SUCCESS, injector.record)
         detail = "wrong answer: result signature differs from golden run"
         fault = describe_fault(injector.record)

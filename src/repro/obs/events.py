@@ -36,6 +36,8 @@ EVENT_KINDS = (
     "alloc",         # memory: a buffer was allocated in a rank arena
     "fault_armed",   # injector: a fault spec is armed for this run
     "fault_fired",   # injector: the bit flip actually happened
+    "unit_retry",    # supervisor: a work unit is being re-dispatched
+    "unit_quarantined",  # supervisor: a unit gave up and was quarantined
 )
 
 #: Default ring-buffer capacity (events).
@@ -144,6 +146,8 @@ def format_event(event: TraceEvent) -> str:
         body = f"{d.get('collective')}@{d.get('site')}#inv{d.get('invocation')} param={d.get('param')} bit={d.get('bit')}"
         if d.get("before"):
             body += f" {d['before']} -> {d['after']}"
+    elif event.kind in ("unit_retry", "unit_quarantined"):
+        body = f"unit={d.get('unit')} attempt={d.get('attempt')} reason={d.get('reason')}"
     else:  # pragma: no cover - future kinds
         body = " ".join(f"{k}={v}" for k, v in d.items())
     return f"{event.seq:>7}  {event.kind:<12} rank {event.rank:<3} {body}"

@@ -20,6 +20,7 @@ after the runtime object is gone.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -234,5 +235,29 @@ def failure_detail(exc: BaseException, record: Any = None) -> str:
             base += f"; blocked at kill time: {graph.summary()}"
     else:
         base = str(exc)
+    fault = describe_fault(record)
+    return f"{base}; fault: {fault}" if fault else base
+
+
+def harness_failure_detail(exc: BaseException, record: Any = None) -> str:
+    """The ``TestResult.detail`` string for a *harness-level* crash.
+
+    Used when an exception outside the simulated failure taxonomy (a
+    ``MemoryError``, ``RecursionError``, a numpy failure on a corrupted
+    ``count``, ...) escapes a run: the test is classified ``TOOL_ERROR``
+    and this string preserves the forensic trail — exception type and
+    message, the innermost traceback location, and the injected fault
+    that provoked it.
+    """
+    base = f"harness error: {type(exc).__name__}: {exc}"
+    tb = exc.__traceback__
+    if tb is not None:
+        while tb.tb_next is not None:
+            tb = tb.tb_next
+        code = tb.tb_frame.f_code
+        base += (
+            f" (at {code.co_name}@"
+            f"{os.path.basename(code.co_filename)}:{tb.tb_lineno})"
+        )
     fault = describe_fault(record)
     return f"{base}; fault: {fault}" if fault else base

@@ -70,7 +70,12 @@ class Context:
         self.rank = rank
         self.size = runtime.nranks
         self._tracer = getattr(runtime, "tracer", None)
-        self.memory = Memory(rank, runtime.arena_size, tracer=self._tracer)
+        self.memory = Memory(
+            rank,
+            runtime.arena_size,
+            tracer=self._tracer,
+            alloc_cap=getattr(runtime, "alloc_cap", None),
+        )
         self.instruments = list(instruments)
         self.phase = "init"
         self._site_counters: dict[tuple[str, str], int] = {}

@@ -13,7 +13,11 @@ The failure semantics are the ones that matter for fault injection:
 * an access that stays inside the arena but crosses into a *different*
   allocation silently corrupts it — heap-smash semantics, which is how a
   modestly corrupted count turns into ``WRONG_ANS`` several collectives
-  later.
+  later;
+* with an *allocation cap* armed (``alloc_cap``), any single allocation
+  request larger than the cap raises the same simulated segfault — the
+  resource guard that keeps a bit-flipped size that reached application
+  allocation code from turning into a host-process ``MemoryError``.
 
 Allocation layout is deterministic, so golden and injected runs see the
 same addresses.
@@ -96,6 +100,13 @@ class Memory:
         identically mapped SPMD processes.
     tracer:
         Optional event tracer; allocations emit ``alloc`` events.
+    alloc_cap:
+        Optional cap (bytes) on a *single* allocation request.  A
+        request above the cap raises
+        :class:`~repro.simmpi.errors.SegmentationFault` — the simulated
+        analogue of a failed ``malloc`` on a corrupted size — instead of
+        the host-level :class:`MemoryError` of arena exhaustion.
+        ``None`` (the default) disables the guard.
     """
 
     def __init__(
@@ -104,11 +115,15 @@ class Memory:
         size: int = DEFAULT_ARENA_SIZE,
         base: int = ARENA_BASE,
         tracer=None,
+        alloc_cap: int | None = None,
     ):
         self.rank = rank
         self.base = base
         self.size = size
         self.tracer = tracer
+        if alloc_cap is not None and alloc_cap < 1:
+            raise ValueError(f"alloc_cap must be >= 1 bytes, got {alloc_cap}")
+        self.alloc_cap = alloc_cap
         self.raw = np.zeros(size, dtype=np.uint8)
         self.segments: list[Segment] = []
         self._brk = base
@@ -119,6 +134,11 @@ class Memory:
         """Bump-allocate ``nbytes`` (16-byte aligned)."""
         if nbytes < 0:
             raise ValueError(f"negative allocation: {nbytes}")
+        if self.alloc_cap is not None and nbytes > self.alloc_cap:
+            # A corrupted size walked into allocation code: fail it on
+            # the deterministic simulated-segfault path rather than the
+            # host heap.
+            raise SegmentationFault(self._brk, nbytes, rank=self.rank)
         addr = self._brk
         end = addr + nbytes
         if end > self.base + self.size:

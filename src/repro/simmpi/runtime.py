@@ -55,6 +55,10 @@ class SimMPI:
         Scheduler event budget; exceeding it means ``INF_LOOP``.
     arena_size:
         Per-rank simulated memory size in bytes.
+    alloc_cap:
+        Optional per-rank cap (bytes) on a single simulated allocation;
+        a request above it raises the simulated segfault path (see
+        :class:`~repro.simmpi.memory.Memory`).
     tracer:
         Optional :class:`~repro.obs.events.Tracer`; when set, the
         scheduler, contexts, and memories emit structured events into
@@ -73,6 +77,7 @@ class SimMPI:
         step_budget: int = DEFAULT_STEP_BUDGET,
         arena_size: int = DEFAULT_ARENA_SIZE,
         algorithms: dict[str, str] | None = None,
+        alloc_cap: int | None = None,
         tracer=None,
     ):
         if nranks < 1:
@@ -80,6 +85,7 @@ class SimMPI:
         self.nranks = nranks
         self.step_budget = step_budget
         self.arena_size = arena_size
+        self.alloc_cap = alloc_cap
         self.tracer = tracer
         self.algorithms = {"bcast": "binomial", "allreduce": "auto"}
         for key, value in (algorithms or {}).items():
@@ -125,6 +131,7 @@ def run_app(
     step_budget: int = DEFAULT_STEP_BUDGET,
     arena_size: int = DEFAULT_ARENA_SIZE,
     algorithms: dict[str, str] | None = None,
+    alloc_cap: int | None = None,
     tracer=None,
 ) -> RunResult:
     """Convenience wrapper: build a fresh runtime and run ``app_fn``."""
@@ -133,5 +140,6 @@ def run_app(
         step_budget=step_budget,
         arena_size=arena_size,
         algorithms=algorithms,
+        alloc_cap=alloc_cap,
         tracer=tracer,
     ).run(app_fn, instruments=instruments)

@@ -128,3 +128,67 @@ def test_manifest_written_atomically(tmp_path, app):
     assert manifest["total_units"] == 4
     assert manifest["complete"] is False
     assert not (tmp_path / "ck" / "manifest.json.tmp").exists()
+
+
+def test_truncate_mid_record_resumes_from_durable_prefix(tmp_path, app):
+    """Crash-consistency: chop a resumed stream *in the middle* of its
+    final record (not just the tail bytes) — every earlier unit, which
+    was fsynced at record() time, must survive."""
+    digest = _digest(app)
+    point = _points()[0]
+    store = CheckpointStore(tmp_path / "ck", digest)
+    store.load(resume=False)
+    sizes = []
+    path = tmp_path / "ck" / "units.pkl"
+    for uid in ("p0:t0-2", "p0:t2-4", "p1:t0-2"):
+        store.record(uid, _tests(point, 2), None)
+        sizes.append(path.stat().st_size)
+    store.close()
+
+    # Cut halfway into the third record's bytes.
+    cut = sizes[1] + (sizes[2] - sizes[1]) // 2
+    path.write_bytes(path.read_bytes()[:cut])
+
+    again = CheckpointStore(tmp_path / "ck", digest)
+    loaded = again.load(resume=True)
+    again.close()
+    assert set(loaded) == {"p0:t0-2", "p0:t2-4"}
+
+
+def test_record_fsyncs_the_stream(tmp_path, app, monkeypatch):
+    """Each completed unit is pushed to stable storage, not just to the
+    OS page cache."""
+    import os
+
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+    store = CheckpointStore(tmp_path / "ck", _digest(app), flush_every=100)
+    store.load(resume=False)
+    before = len(synced)
+    store.record("p0:t0-2", _tests(_points()[0], 2), None)
+    store.close()
+    assert len(synced) > before
+
+
+def test_manifest_records_quarantined_units(tmp_path, app):
+    import json
+
+    store = CheckpointStore(tmp_path / "ck", _digest(app))
+    store.load(resume=False)
+    store.record("p0:t0-2", _tests(_points()[0], 2), None)
+    store.write_manifest(total_units=4, complete=False, quarantined=["p1:t0-2"])
+    store.close()
+    manifest = json.loads((tmp_path / "ck" / "manifest.json").read_text())
+    assert manifest["quarantined"] == ["p1:t0-2"]
+    assert "p1:t0-2" not in manifest["completed"]
+
+
+def test_closed_property(tmp_path, app):
+    store = CheckpointStore(tmp_path / "ck", _digest(app))
+    assert store.closed
+    store.load(resume=False)
+    assert not store.closed
+    store.close()
+    assert store.closed
+    store.close()  # idempotent

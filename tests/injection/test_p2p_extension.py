@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps import make_app
-from repro.injection import Outcome
+from repro.injection import OUTCOME_ORDER, Outcome
 from repro.injection.p2p import (
     P2PFaultInjector,
     P2PFaultSpec,
@@ -122,7 +122,9 @@ class TestP2PCampaign:
     def test_all_tests_classified(self, campaign):
         hist = campaign.outcome_histogram()
         assert sum(hist.values()) == 32
-        assert all(o in hist for o in Outcome)
+        # The histogram covers the paper's application-response classes;
+        # the harness-level TOOL_ERROR verdict is deliberately excluded.
+        assert all(o in hist for o in OUTCOME_ORDER)
 
     def test_by_param_partition(self, campaign):
         per_param = campaign.by_param()

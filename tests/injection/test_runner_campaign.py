@@ -142,3 +142,63 @@ class TestCampaign:
         assert sum(after.values()) == len(pr.tests)
         pr.tests.pop()  # restore the shared session fixture
         assert sum(pr.outcomes.values()) == len(pr.tests)
+
+
+class TestToolErrorAggregation:
+    """TOOL_ERROR verdicts are excluded from every paper-facing rate."""
+
+    @staticmethod
+    def _pr(outcomes):
+        from repro.injection.campaign import PointResult
+        from repro.injection.runner import TestResult
+
+        point = InjectionPoint(0, "Allreduce", "f.py:1", 0)
+        pr = PointResult(point)
+        for o in outcomes:
+            pr.add(TestResult(FaultSpec(point, "count", None), o, None))
+        return pr
+
+    def test_error_rate_excludes_tool_errors(self):
+        pr = self._pr(
+            [Outcome.SUCCESS, Outcome.SEG_FAULT, Outcome.TOOL_ERROR, Outcome.TOOL_ERROR]
+        )
+        # 1 error out of 2 application responses — not out of 4 tests.
+        assert pr.error_rate == pytest.approx(0.5)
+        assert pr.n_tool_errors == 2
+        assert pr.n_tests == 4
+
+    def test_all_tool_errors_means_no_rate(self):
+        pr = self._pr([Outcome.TOOL_ERROR] * 3)
+        assert pr.error_rate == 0.0
+        assert pr.majority_outcome() is Outcome.SUCCESS  # by absence
+
+    def test_majority_never_returns_tool_error(self):
+        pr = self._pr(
+            [Outcome.TOOL_ERROR, Outcome.TOOL_ERROR, Outcome.TOOL_ERROR, Outcome.MPI_ERR]
+        )
+        assert pr.majority_outcome() is Outcome.MPI_ERR
+        # mldriven labels index into OUTCOME_ORDER — must never raise.
+        assert OUTCOME_ORDER.index(pr.majority_outcome()) >= 0
+
+    def test_direct_append_resyncs_exclusions(self):
+        from repro.injection.runner import TestResult
+
+        pr = self._pr([Outcome.SUCCESS])
+        point = pr.point
+        pr.tests.append(
+            TestResult(FaultSpec(point, "count", None), Outcome.TOOL_ERROR, None)
+        )
+        assert pr.n_tool_errors == 1
+        assert pr.error_rate == 0.0
+
+    def test_campaign_histogram_and_tool_error_count(self):
+        from repro.injection.campaign import CampaignResult
+
+        result = CampaignResult("x", 4, "buffer")
+        pr = self._pr([Outcome.SUCCESS, Outcome.WRONG_ANS, Outcome.TOOL_ERROR])
+        result.points[pr.point] = pr
+        hist = result.outcome_histogram()
+        assert Outcome.TOOL_ERROR not in hist
+        assert sum(hist.values()) == 2
+        assert result.tool_error_count() == 1
+        assert sum(result.outcome_fractions().values()) == pytest.approx(1.0)

@@ -88,3 +88,21 @@ def test_format_event_shapes():
     })
     line = format_event(fired)
     assert "Reduce@b.py:9#inv0" in line and "param=count" in line and "64 -> 1073741888" in line
+
+
+def test_format_supervision_events():
+    t = Tracer()
+    t.emit("unit_retry", -1, unit="p1:t0-2", attempt=1, reason="worker process died mid-unit")
+    t.emit("unit_quarantined", -1, unit="p1:t0-2", attempt=3, reason="worker crashed: boom")
+    retry, quarantined = t.events()
+    line = format_event(retry)
+    assert "unit_retry" in line and "unit=p1:t0-2" in line and "attempt=1" in line
+    line = format_event(quarantined)
+    assert "unit_quarantined" in line and "reason=worker crashed: boom" in line
+
+
+def test_supervision_kinds_registered():
+    from repro.obs.events import EVENT_KINDS
+
+    assert "unit_retry" in EVENT_KINDS
+    assert "unit_quarantined" in EVENT_KINDS

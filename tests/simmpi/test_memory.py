@@ -106,3 +106,38 @@ def test_double_flip_restores(offset, bit):
     mem.flip_bit(seg.addr, bit)
     mem.flip_bit(seg.addr, bit)
     assert mem.read(seg.addr, 256) == original
+
+
+class TestAllocCap:
+    """The per-rank allocation cap: the resource guard that maps a
+    corrupted size onto the simulated segfault path."""
+
+    def test_over_cap_allocation_segfaults(self):
+        mem = Memory(rank=3, size=1 << 16, alloc_cap=1 << 10)
+        with pytest.raises(SegmentationFault) as err:
+            mem.alloc((1 << 10) + 1, "huge")
+        assert err.value.rank == 3
+        assert err.value.nbytes == (1 << 10) + 1
+
+    def test_cap_sized_allocation_succeeds(self):
+        mem = Memory(rank=0, size=1 << 16, alloc_cap=1 << 10)
+        seg = mem.alloc(1 << 10, "exact")
+        assert seg.nbytes == 1 << 10
+
+    def test_no_cap_keeps_arena_exhaustion_semantics(self):
+        mem = Memory(rank=0, size=1 << 12)
+        with pytest.raises(MemoryError):
+            mem.alloc((1 << 12) + 1)
+
+    def test_capped_arena_exhaustion_still_memoryerror(self):
+        """Under-cap requests that overrun the arena stay MemoryError —
+        the cap only guards single oversized requests."""
+        mem = Memory(rank=0, size=1 << 12, alloc_cap=1 << 11)
+        mem.alloc(1 << 11)
+        mem.alloc(1 << 11)
+        with pytest.raises(MemoryError):
+            mem.alloc(1 << 11)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Memory(rank=0, size=1 << 12, alloc_cap=0)

@@ -229,3 +229,61 @@ def test_stats_json_export(capsys):
     data = json.loads(capsys.readouterr().out)
     assert data["counters"]["campaign.tests"] > 0
     assert "phase.campaign_s" in data["timers"]
+
+
+class TestErrorHygiene:
+    """Operator errors exit with code 2 and one line on stderr — no
+    tracebacks, no partial output."""
+
+    def test_resume_without_checkpoint_dir(self, capsys):
+        assert main(["campaign", "--app", "lu", "--resume"]) == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_bad_jobs(self, capsys):
+        assert main(["campaign", "--app", "lu", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_bad_unit_timeout(self, capsys):
+        assert main(["campaign", "--app", "lu", "--unit-timeout", "0"]) == 2
+        assert "--unit-timeout must be > 0" in capsys.readouterr().err
+
+    def test_bad_max_retries(self, capsys):
+        assert main(["campaign", "--app", "lu", "--max-retries", "-1"]) == 2
+        assert "--max-retries must be >= 0" in capsys.readouterr().err
+
+    def test_checkpoint_mismatch_is_one_line(self, tmp_path, capsys):
+        """A foreign checkpoint directory produces exit 2 and a single
+        explanatory line, not a traceback."""
+        import pickle
+
+        ck = tmp_path / "ck"
+        ck.mkdir()
+        with (ck / "units.pkl").open("wb") as fh:
+            pickle.dump({"digest": "not-this-campaign", "format": 1}, fh)
+        rc = main(
+            [
+                "campaign", "--app", "lu", "--tests", "2", "--max-points", "1",
+                "--checkpoint-dir", str(ck), "--resume",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "different campaign" in err
+        assert "Traceback" not in err
+
+
+def test_supervision_flags_reach_the_tool():
+    from repro.cli import _tool
+
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "campaign", "--app", "lu", "--unit-timeout", "30",
+            "--max-retries", "5", "--no-quarantine", "--jobs", "2",
+        ]
+    )
+    ff = _tool(args)
+    assert ff.unit_timeout == 30.0
+    assert ff.max_retries == 5
+    assert ff.quarantine is False
+    assert ff.jobs == 2
