@@ -371,6 +371,139 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run the verification suite: conformance, sanitizers, replay,
+    campaign determinism.  Exit 0 only when every phase is clean."""
+    from .injection import enumerate_points
+    from .verify import (
+        MUTANTS,
+        record_run,
+        replay_run,
+        run_conformance,
+        sanitize_sweep,
+    )
+
+    if args.list_mutants:
+        rows = [[m.name, ", ".join(m.detected_by), m.description] for m in MUTANTS.values()]
+        print(render_table(["mutant", "detected by", "description"], rows, title="seeded mutants"))
+        return 0
+    if args.mutant is not None and args.mutant not in MUTANTS:
+        print(
+            f"unknown mutant {args.mutant!r}; choices: {', '.join(sorted(MUTANTS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    summary: dict = {"ok": True, "phases": {}}
+
+    def phase(name: str, ok: bool, payload: dict) -> None:
+        summary["phases"][name] = {"ok": ok, **payload}
+        summary["ok"] = summary["ok"] and ok
+
+    # 1. differential conformance (optionally with a seeded mutant, in
+    # which case the harness is expected to FAIL — see --mutant help).
+    conf = run_conformance(
+        seed=args.seed,
+        draws_per_collective=args.draws,
+        collectives=args.collective or None,
+        mutant=args.mutant,
+    )
+    if args.mutant is not None:
+        ok = not conf.ok  # a mutant the harness cannot see is the failure
+        phase("conformance", ok, {"mutant": args.mutant, "detected": not conf.ok,
+                                  "failures": [f.describe() for f in conf.failures[:20]]})
+        if not args.json:
+            print(conf.describe())
+            print(
+                f"mutant {args.mutant!r}: "
+                + ("DETECTED (harness has teeth)" if not conf.ok else "NOT DETECTED — harness failure")
+            )
+    else:
+        phase("conformance", conf.ok, {
+            "cases": conf.total_cases, "checks": conf.total_checks,
+            "failures": [f.describe() for f in conf.failures[:20]],
+        })
+        if not args.json:
+            print(conf.describe())
+
+    # 2. sanitizer soak over the registered workloads.
+    if not args.skip_sanitize and args.mutant is None:
+        sweep = sanitize_sweep()
+        ok = all(r.ok for r in sweep)
+        phase("sanitize", ok, {"apps": {r.app: r.ok for r in sweep},
+                               "violations": [v for r in sweep for v in r.violations]})
+        if not args.json:
+            print()
+            for r in sweep:
+                print("sanitize: " + r.describe())
+
+    # 3. deterministic replay of golden application runs.
+    if not args.skip_replay and args.mutant is None:
+        replay_info, ok = {}, True
+        for name in ("is", "lu"):
+            app = make_app(name, "T")
+            _, log = record_run(app.main, app.nranks)
+            report = replay_run(app.main, app.nranks, log)
+            replay_info[name] = report.detail
+            ok = ok and report.identical
+            if not args.json:
+                print(f"replay: {name}/T {report.detail}")
+        phase("replay", ok, {"apps": replay_info})
+
+    # 4. campaign determinism: the same small campaign, serial then
+    # sharded, must produce bit-identical TestResult streams.
+    if not args.skip_campaign and args.mutant is None:
+        ff = _tool(args)
+        points = enumerate_points(ff.profile())[: args.max_points]
+        sigs = []
+        for jobs in (1, 2):
+            campaign = Campaign(
+                ff.app, ff.profile(), tests_per_point=args.tests,
+                param_policy="all", seed=args.seed, jobs=jobs,
+            ).run(points)
+            sigs.append(_campaign_signature(campaign))
+        ok = sigs[0] == sigs[1]
+        phase("campaign", ok, {
+            "app": args.app, "points": len(points), "tests": args.tests,
+            "identical": ok,
+        })
+        if not args.json:
+            print(
+                f"campaign: {args.app}/T {len(points)} points × {args.tests} tests, "
+                f"serial vs --jobs 2: " + ("bit-identical" if ok else "DIVERGED")
+            )
+
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    elif summary["ok"]:
+        print("\nverify: all phases clean")
+    else:
+        bad = [k for k, v in summary["phases"].items() if not v["ok"]]
+        print(f"\nverify: FAILURES in {', '.join(bad)}", file=sys.stderr)
+    return 0 if summary["ok"] else 1
+
+
+def _campaign_signature(result) -> list:
+    """The determinism guarantee, reified: point order, per-test fault
+    specs, outcomes, injection records, derived rates."""
+    sig = []
+    for point, pr in result.points.items():
+        sig.append(
+            (
+                point,
+                [
+                    (
+                        t.spec.point, t.spec.param, t.spec.bit, t.outcome,
+                        None if t.record is None else (t.record.bit, t.record.skipped),
+                    )
+                    for t in pr.tests
+                ],
+                pr.error_rate,
+            )
+        )
+    return sig
+
+
 def cmd_study(args: argparse.Namespace) -> int:
     ff = _tool(args)
     threshold = None if args.no_ml else args.threshold
@@ -462,6 +595,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=100, help="max events to pretty-print (0 = all)")
     p.add_argument("--json", action="store_true", help="emit JSONL instead of text")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "verify",
+        help="verification suite: conformance fuzzing, sanitizers, replay, "
+        "campaign determinism",
+        parents=[verbosity],
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--draws", type=int, default=200,
+        help="fuzzed draws per collective for the conformance sweep",
+    )
+    p.add_argument(
+        "--collective", action="append", default=None, metavar="NAME",
+        help="restrict conformance to this collective (repeatable)",
+    )
+    p.add_argument(
+        "--mutant", default=None, metavar="NAME",
+        help="install a seeded defect and require the harness to catch it "
+        "(exit 0 = detected); see --list-mutants",
+    )
+    p.add_argument(
+        "--list-mutants", action="store_true", help="list seeded mutants and exit"
+    )
+    p.add_argument("--skip-sanitize", action="store_true", help="skip the sanitizer soak")
+    p.add_argument("--skip-replay", action="store_true", help="skip the replay check")
+    p.add_argument(
+        "--skip-campaign", action="store_true",
+        help="skip the serial-vs-parallel campaign determinism check",
+    )
+    p.add_argument(
+        "--app", default="lu", choices=sorted(APPLICATIONS),
+        help="workload for the campaign determinism check",
+    )
+    p.add_argument("--problem-class", default="T", choices=("T", "S", "A"))
+    p.add_argument("--tests", type=int, default=3, help="tests per point for the campaign check")
+    p.add_argument("--max-points", type=int, default=4, help="points for the campaign check")
+    p.add_argument("--json", action="store_true", help="machine-readable summary")
+    p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser(
         "stats", help="campaign with metrics: phase timings, tests/sec, outcomes",

@@ -38,6 +38,7 @@ EVENT_KINDS = (
     "fault_fired",   # injector: the bit flip actually happened
     "unit_retry",    # supervisor: a work unit is being re-dispatched
     "unit_quarantined",  # supervisor: a unit gave up and was quarantined
+    "sanitize_violation",  # sanitizer: a semantic tripwire fired
 )
 
 #: Default ring-buffer capacity (events).
@@ -148,6 +149,9 @@ def format_event(event: TraceEvent) -> str:
             body += f" {d['before']} -> {d['after']}"
     elif event.kind in ("unit_retry", "unit_quarantined"):
         body = f"unit={d.get('unit')} attempt={d.get('attempt')} reason={d.get('reason')}"
+    elif event.kind == "sanitize_violation":
+        extras = " ".join(f"{k}={v}" for k, v in sorted(d.items()) if k != "kind")
+        body = f"{d.get('kind')} {extras}".rstrip()
     else:  # pragma: no cover - future kinds
         body = " ".join(f"{k}={v}" for k, v in d.items())
     return f"{event.seq:>7}  {event.kind:<12} rank {event.rank:<3} {body}"

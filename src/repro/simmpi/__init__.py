@@ -38,6 +38,7 @@ from .memory import ArrayRef, Memory
 from .ops import ReduceOp, make_op_space
 from .request import Request
 from .runtime import AppFn, RunResult, SimMPI, run_app
+from .sanitize import Sanitizer, SanitizerViolation, Violation
 
 __all__ = [
     "AppError",
@@ -66,11 +67,14 @@ __all__ = [
     "Request",
     "RunResult",
     "SCALAR_PARAMS",
+    "Sanitizer",
+    "SanitizerViolation",
     "SegmentationFault",
     "SimMPI",
     "SimMPIError",
     "StepBudgetExceeded",
     "VECTOR_PARAMS",
+    "Violation",
     "make_datatype_space",
     "make_op_space",
     "run_app",

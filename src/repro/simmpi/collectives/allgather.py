@@ -28,12 +28,12 @@ def allgather(
     blockbytes = recvcount * dtype.size
 
     own = env.memory.read(sendaddr, sendbytes)
-    env.check_truncate(own, blockbytes)
+    env.check_truncate(own, blockbytes, dtype.size)
     env.memory.write(recvaddr + env.me * blockbytes, own)
 
     for send_to, recv_from, send_block, recv_block, step in ring_allgather_steps(env.me, n):
         data = env.memory.read(recvaddr + send_block * blockbytes, blockbytes)
         yield from env.send(send_to, step, data)
         payload = yield from env.recv(recv_from, step)
-        env.check_truncate(payload, blockbytes)
+        env.check_truncate(payload, blockbytes, dtype.size)
         env.memory.write(recvaddr + recv_block * blockbytes, payload)

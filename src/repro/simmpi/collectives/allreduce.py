@@ -48,8 +48,14 @@ def allreduce(
         for peer, step in allreduce_peers(env.me, n):
             yield from env.send(peer, step, acc)
             payload = yield from env.recv(peer, step)
-            env.check_truncate(payload, nbytes)
-            acc = op.apply(acc, payload, dtype, rank=env.rank)
+            env.check_truncate(payload, nbytes, dtype.size)
+            # Keep the reduction in canonical rank order: the lower
+            # rank block supplies the left operand, so non-commutative
+            # ops fold exactly as a rank-0..n-1 left fold.
+            if env.me < peer:
+                acc = op.apply(acc, payload, dtype, rank=env.rank)
+            else:
+                acc = op.apply(payload, acc, dtype, rank=env.rank)
         env.memory.write(recvaddr, acc)
     else:
         yield from reduce(env, sendaddr, recvaddr, count, dtype, op, root=0)

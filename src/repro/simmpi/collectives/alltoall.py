@@ -24,12 +24,12 @@ def alltoall(
     recvbytes = recvcount * dtype.size
 
     own = env.memory.read(sendaddr + env.me * sendbytes, sendbytes)
-    env.check_truncate(own, recvbytes)
+    env.check_truncate(own, recvbytes, dtype.size)
     env.memory.write(recvaddr + env.me * recvbytes, own)
 
     for dst, src, step in pairwise_alltoall_steps(env.me, n):
         data = env.memory.read(sendaddr + dst * sendbytes, sendbytes)
         yield from env.send(dst, step, data)
         payload = yield from env.recv(src, step)
-        env.check_truncate(payload, recvbytes)
+        env.check_truncate(payload, recvbytes, dtype.size)
         env.memory.write(recvaddr + src * recvbytes, payload)

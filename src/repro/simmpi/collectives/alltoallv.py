@@ -31,12 +31,12 @@ def alltoallv(
     me = env.me
 
     own = env.memory.read(sendaddr + int(sdispls[me]) * es, int(sendcounts[me]) * es)
-    env.check_truncate(own, int(recvcounts[me]) * es)
+    env.check_truncate(own, int(recvcounts[me]) * es, es)
     env.memory.write(recvaddr + int(rdispls[me]) * es, own)
 
     for dst, src, step in pairwise_alltoall_steps(me, n):
         data = env.memory.read(sendaddr + int(sdispls[dst]) * es, int(sendcounts[dst]) * es)
         yield from env.send(dst, step, data)
         payload = yield from env.recv(src, step)
-        env.check_truncate(payload, int(recvcounts[src]) * es)
+        env.check_truncate(payload, int(recvcounts[src]) * es, es)
         env.memory.write(recvaddr + int(rdispls[src]) * es, payload)

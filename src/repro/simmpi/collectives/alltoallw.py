@@ -38,7 +38,7 @@ def alltoallw(
     own = env.memory.read(
         sendaddr + int(sdispls[me]), int(sendcounts[me]) * sendtypes[me].size
     )
-    env.check_truncate(own, int(recvcounts[me]) * recvtypes[me].size)
+    env.check_truncate(own, int(recvcounts[me]) * recvtypes[me].size, recvtypes[me].size)
     env.memory.write(recvaddr + int(rdispls[me]), own)
 
     for dst, src, step in pairwise_alltoall_steps(me, n):
@@ -47,5 +47,5 @@ def alltoallw(
         )
         yield from env.send(dst, step, data)
         payload = yield from env.recv(src, step)
-        env.check_truncate(payload, int(recvcounts[src]) * recvtypes[src].size)
+        env.check_truncate(payload, int(recvcounts[src]) * recvtypes[src].size, recvtypes[src].size)
         env.memory.write(recvaddr + int(rdispls[src]), payload)

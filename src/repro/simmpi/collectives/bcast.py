@@ -42,7 +42,7 @@ def bcast(
 
     if parent is not None:
         payload = yield from env.recv(unvrank(parent, root, n), step_base)
-        env.check_truncate(payload, nbytes)
+        env.check_truncate(payload, nbytes, dtype.size)
         env.memory.write(addr, payload)
 
     children = bcast_children(v, n)
@@ -61,7 +61,7 @@ def _bcast_chain(
     v = vrank(env.me, root % n, n)
     if v > 0:
         payload = yield from env.recv(unvrank(v - 1, root, n), step_base)
-        env.check_truncate(payload, nbytes)
+        env.check_truncate(payload, nbytes, dtype.size)
         env.memory.write(addr, payload)
     if v + 1 < n:
         data = env.memory.read(addr, nbytes)

@@ -59,13 +59,34 @@ class CollEnv:
         )
         return payload
 
-    def check_truncate(self, payload: bytes, expected_nbytes: int) -> bytes:
+    def check_truncate(
+        self, payload: bytes, expected_nbytes: int, elem_size: int = 0
+    ) -> bytes:
         """Raise ``MPI_ERR_TRUNCATE`` when a message overflows the
-        receive buffer, as real MPI does; shorter messages are legal."""
+        receive buffer, as real MPI does; shorter messages are legal.
+
+        With a sanitizer armed, any size disagreement between the two
+        sides of a collective transfer is recorded: ``short_recv`` when
+        the payload is smaller than the posted buffer (count mismatch),
+        and ``size_indivisible`` when, given ``elem_size``, the payload
+        is not a whole number of receiver elements (datatype mismatch).
+        """
         if len(payload) > expected_nbytes:
             raise MPIError(
                 "MPI_ERR_TRUNCATE",
                 f"message of {len(payload)} bytes exceeds receive buffer of {expected_nbytes}",
                 rank=self.rank,
             )
+        sanitizer = self.memory.sanitizer
+        if sanitizer is not None:
+            if len(payload) < expected_nbytes:
+                sanitizer.record(
+                    "short_recv", self.rank,
+                    got=len(payload), expected=expected_nbytes,
+                )
+            if elem_size > 1 and len(payload) % elem_size:
+                sanitizer.record(
+                    "size_indivisible", self.rank,
+                    got=len(payload), elem_size=elem_size,
+                )
         return payload

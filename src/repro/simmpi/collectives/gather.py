@@ -34,7 +34,7 @@ def gather(
                 payload = env.memory.read(sendaddr, sendbytes)
             else:
                 payload = yield from env.recv(r, 0)
-            env.check_truncate(payload, blockbytes)
+            env.check_truncate(payload, blockbytes, dtype.size)
             env.memory.write(recvaddr + r * blockbytes, payload)
     else:
         payload = env.memory.read(sendaddr, sendbytes)

@@ -10,6 +10,12 @@ from .binomial import reduce_schedule, unvrank, vrank
 from .env import CollEnv
 
 
+#: Tag step used to forward the finished non-commutative fold from rank
+#: 0 to a non-zero root.  Above any binomial-tree step at the sizes this
+#: simulator targets, below the per-block stride of reduce_scatter.
+_FORWARD_STEP = 7
+
+
 def reduce(
     env: CollEnv,
     sendaddr: int,
@@ -25,20 +31,71 @@ def reduce(
     Partial results flow up a binomial tree; only the root writes
     ``recvaddr`` (as in MPI, where the receive buffer is significant
     only at the root).
+
+    For commutative ops the tree lives in virtual ranks (root mapped to
+    0), so any root costs the same.  The binomial tree combines
+    contiguous *virtual*-rank blocks, which for a non-zero root is a
+    rotation of comm rank order — fine when operand order is free, but
+    wrong for non-commutative ops, where MPI mandates the canonical
+    rank-0..n-1 fold.  Those ops therefore reduce over actual comm
+    ranks toward rank 0, which forwards the finished fold to the root.
     """
     n = env.size
     nbytes = count * dtype.size
-    v = vrank(env.me, root % n, n)
+    root = root % n
+
+    if not op.commutative and root != 0:
+        yield from _reduce_rank_ordered(
+            env, sendaddr, recvaddr, count, dtype, op, root, step_base
+        )
+        return
+
+    v = vrank(env.me, root, n)
 
     acc = env.memory.read(sendaddr, nbytes)
     for action, peer_v, step in reduce_schedule(v, n):
         peer = unvrank(peer_v, root, n)
         if action == "recv":
             payload = yield from env.recv(peer, step_base + step)
-            env.check_truncate(payload, nbytes)
+            env.check_truncate(payload, nbytes, dtype.size)
             acc = op.apply(acc, payload, dtype, rank=env.rank)
         else:
             yield from env.send(peer, step_base + step, acc)
 
     if v == 0:
         env.memory.write(recvaddr, acc)
+
+
+def _reduce_rank_ordered(
+    env: CollEnv,
+    sendaddr: int,
+    recvaddr: int,
+    count: int,
+    dtype: Datatype,
+    op: ReduceOp,
+    root: int,
+    step_base: int,
+) -> Generator:
+    """Binomial reduction in actual comm-rank order, forwarded to root.
+
+    Rank r accumulates the in-order fold of the contiguous rank block
+    it owns in the (unrotated) binomial tree — the received child block
+    always sits *after* the accumulator in rank order, so
+    ``op(acc, child)`` is the canonical left fold.
+    """
+    nbytes = count * dtype.size
+    acc = env.memory.read(sendaddr, nbytes)
+    for action, peer, step in reduce_schedule(env.me, env.size):
+        if action == "recv":
+            payload = yield from env.recv(peer, step_base + step)
+            env.check_truncate(payload, nbytes, dtype.size)
+            acc = op.apply(acc, payload, dtype, rank=env.rank)
+        else:
+            yield from env.send(peer, step_base + step, acc)
+
+    if env.me == 0:
+        yield from env.send(root, step_base + _FORWARD_STEP, acc)
+    if env.me == root:
+        payload = yield from env.recv(0, step_base + _FORWARD_STEP)
+        env.check_truncate(payload, nbytes, dtype.size)
+        env.memory.write(recvaddr, payload)

@@ -29,7 +29,7 @@ def scan(
     mine = env.memory.read(sendaddr, nbytes)
     if env.me > 0:
         prefix = yield from env.recv(env.me - 1, 0)
-        env.check_truncate(prefix, nbytes)
+        env.check_truncate(prefix, nbytes, dtype.size)
         mine = op.apply(prefix, mine, dtype, rank=env.rank)
     env.memory.write(recvaddr, mine)
     if env.me + 1 < env.size:
@@ -54,7 +54,7 @@ def exscan(
         inclusive = mine
     else:
         prefix = yield from env.recv(env.me - 1, 0)
-        env.check_truncate(prefix, nbytes)
+        env.check_truncate(prefix, nbytes, dtype.size)
         env.memory.write(recvaddr, prefix)
         inclusive = op.apply(prefix, mine, dtype, rank=env.rank)
     if env.me + 1 < env.size:

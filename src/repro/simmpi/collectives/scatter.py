@@ -31,11 +31,11 @@ def scatter(
         for r in range(n):
             block = env.memory.read(sendaddr + r * blockbytes, blockbytes)
             if r == env.me:
-                env.check_truncate(block, recvbytes)
+                env.check_truncate(block, recvbytes, dtype.size)
                 env.memory.write(recvaddr, block)
             else:
                 yield from env.send(r, 0, block)
     else:
         payload = yield from env.recv(root, 0)
-        env.check_truncate(payload, recvbytes)
+        env.check_truncate(payload, recvbytes, dtype.size)
         env.memory.write(recvaddr, payload)

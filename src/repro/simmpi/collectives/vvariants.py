@@ -38,7 +38,7 @@ def gatherv(
                 payload = env.memory.read(sendaddr, sendcount * es)
             else:
                 payload = yield from env.recv(r, 0)
-            env.check_truncate(payload, int(recvcounts[r]) * es)
+            env.check_truncate(payload, int(recvcounts[r]) * es, es)
             env.memory.write(recvaddr + int(displs[r]) * es, payload)
     else:
         payload = env.memory.read(sendaddr, sendcount * es)
@@ -65,13 +65,13 @@ def scatterv(
                 sendaddr + int(displs[r]) * es, int(sendcounts[r]) * es
             )
             if r == env.me:
-                env.check_truncate(block, recvcount * es)
+                env.check_truncate(block, recvcount * es, es)
                 env.memory.write(recvaddr, block)
             else:
                 yield from env.send(r, 0, block)
     else:
         payload = yield from env.recv(root, 0)
-        env.check_truncate(payload, recvcount * es)
+        env.check_truncate(payload, recvcount * es, es)
         env.memory.write(recvaddr, payload)
 
 
@@ -90,7 +90,7 @@ def allgatherv(
     me = env.me
 
     own = env.memory.read(sendaddr, sendcount * es)
-    env.check_truncate(own, int(recvcounts[me]) * es)
+    env.check_truncate(own, int(recvcounts[me]) * es, es)
     env.memory.write(recvaddr + int(displs[me]) * es, own)
 
     for send_to, recv_from, send_block, recv_block, step in ring_allgather_steps(me, n):
@@ -99,5 +99,5 @@ def allgatherv(
         )
         yield from env.send(send_to, step, data)
         payload = yield from env.recv(recv_from, step)
-        env.check_truncate(payload, int(recvcounts[recv_block]) * es)
+        env.check_truncate(payload, int(recvcounts[recv_block]) * es, es)
         env.memory.write(recvaddr + int(displs[recv_block]) * es, payload)

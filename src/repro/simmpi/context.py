@@ -75,8 +75,12 @@ class Context:
             runtime.arena_size,
             tracer=self._tracer,
             alloc_cap=getattr(runtime, "alloc_cap", None),
+            sanitizer=getattr(runtime, "sanitizer", None),
         )
         self.instruments = list(instruments)
+        #: Nonblocking requests handed out by this rank; the sanitizer's
+        #: teardown sweep flags any still incomplete (request leaks).
+        self._live_requests: list[Request] = []
         self.phase = "init"
         self._site_counters: dict[tuple[str, str], int] = {}
         self._coll_seq = 0
@@ -813,6 +817,7 @@ class Context:
             "tag": tag,
             "comm": comm,
         }
+        self._live_requests.append(req)
         return req
 
     def Wait(self, request: "Request") -> Generator:

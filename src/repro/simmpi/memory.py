@@ -100,6 +100,11 @@ class Memory:
         identically mapped SPMD processes.
     tracer:
         Optional event tracer; allocations emit ``alloc`` events.
+    sanitizer:
+        Optional :class:`~repro.simmpi.sanitize.Sanitizer`.  When set,
+        accesses that cross allocation boundaries (the heap-smash path)
+        and out-of-arena accesses are recorded as violations; the
+        permissive fault semantics themselves are unchanged.
     alloc_cap:
         Optional cap (bytes) on a *single* allocation request.  A
         request above the cap raises
@@ -116,11 +121,13 @@ class Memory:
         base: int = ARENA_BASE,
         tracer=None,
         alloc_cap: int | None = None,
+        sanitizer=None,
     ):
         self.rank = rank
         self.base = base
         self.size = size
         self.tracer = tracer
+        self.sanitizer = sanitizer
         if alloc_cap is not None and alloc_cap < 1:
             raise ValueError(f"alloc_cap must be >= 1 bytes, got {alloc_cap}")
         self.alloc_cap = alloc_cap
@@ -162,10 +169,24 @@ class Memory:
 
     def _check(self, addr: int, nbytes: int) -> int:
         if nbytes < 0:
+            if self.sanitizer is not None:
+                self.sanitizer.record("oob_access", self.rank, addr=addr, nbytes=nbytes)
             raise SegmentationFault(addr, nbytes, rank=self.rank)
         off = addr - self.base
         if off < 0 or off + nbytes > self.size:
+            if self.sanitizer is not None:
+                self.sanitizer.record("oob_access", self.rank, addr=addr, nbytes=nbytes)
             raise SegmentationFault(addr, nbytes, rank=self.rank)
+        if self.sanitizer is not None and nbytes > 0:
+            seg = self.segment_of(addr)
+            if seg is not None and addr + nbytes > seg.end:
+                # In-arena but crossing into a neighbouring allocation:
+                # the access succeeds (heap-smash semantics) — record it.
+                self.sanitizer.record(
+                    "buffer_overlap", self.rank,
+                    addr=addr, nbytes=nbytes,
+                    segment=seg.label or hex(seg.addr), seg_end=seg.end,
+                )
         return off
 
     def read(self, addr: int, nbytes: int) -> bytes:

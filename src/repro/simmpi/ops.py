@@ -29,11 +29,17 @@ class ReduceOp:
         Elementwise combiner over two numpy arrays.
     integer_only:
         True for bitwise/logical ops that real MPI rejects on floats.
+    commutative:
+        False for ops where operand order matters; reduction drivers
+        then fold strictly in comm rank order, as the MPI standard
+        requires for non-commutative user ops.  All predefined ops are
+        commutative.
     """
 
     name: str
     fn: Callable[[np.ndarray, np.ndarray], np.ndarray] = field(repr=False)
     integer_only: bool = False
+    commutative: bool = True
 
     def apply(self, a: bytes, b: bytes, dtype: Datatype, *, rank: int | None = None) -> bytes:
         """Combine payloads ``a`` (partial result) and ``b`` elementwise.
@@ -76,10 +82,22 @@ _PREDEFINED: list[ReduceOp] = [
 ]
 
 
-def make_op_space() -> tuple[HandleSpace[ReduceOp], dict[str, int]]:
-    """Build a fresh op handle space; returns it plus a name→handle map."""
+def make_op_space(
+    extra_ops: "tuple[ReduceOp, ...] | list[ReduceOp]" = (),
+) -> tuple[HandleSpace[ReduceOp], dict[str, int]]:
+    """Build a fresh op handle space; returns it plus a name→handle map.
+
+    ``extra_ops`` are registered *after* the predefined ops, so the
+    predefined handle layout (and hence which handles are a single bit
+    flip apart) is identical with or without them.  The conformance
+    harness uses this to add non-commutative test ops.
+    """
     space: HandleSpace[ReduceOp] = HandleSpace("op", base=0x7F4B_0000_0000)
     by_name: dict[str, int] = {}
     for op in _PREDEFINED:
+        by_name[op.name] = space.register(op)
+    for op in extra_ops:
+        if op.name in by_name:
+            raise ValueError(f"duplicate op name {op.name!r}")
         by_name[op.name] = space.register(op)
     return space, by_name

@@ -17,7 +17,8 @@ from .context import Context
 from .datatypes import make_datatype_space
 from .fiber import Fiber
 from .memory import DEFAULT_ARENA_SIZE
-from .ops import make_op_space
+from .ops import ReduceOp, make_op_space
+from .sanitize import Sanitizer
 from .scheduler import DEFAULT_STEP_BUDGET, Scheduler
 
 #: Signature of an application entry point: a generator function taking
@@ -42,6 +43,9 @@ class RunResult:
     results: list[Any]
     steps: int
     contexts: list[Context] = field(repr=False, default_factory=list)
+    #: The sanitizer that watched the run (``None`` unless the runtime
+    #: was built with ``sanitize=...``); check ``.violations``.
+    sanitizer: Sanitizer | None = field(repr=False, default=None)
 
 
 class SimMPI:
@@ -63,6 +67,21 @@ class SimMPI:
         Optional :class:`~repro.obs.events.Tracer`; when set, the
         scheduler, contexts, and memories emit structured events into
         it.  ``None`` (the default) keeps the hot path untraced.
+    sanitize:
+        ``True`` (or a preconstructed
+        :class:`~repro.simmpi.sanitize.Sanitizer`) arms the opt-in
+        sanitizer layer: unmatched-message and pending-request leaks at
+        teardown, buffer-overlap/out-of-arena tripwires, and send-recv
+        size mismatch checks.  Findings land on
+        ``RunResult.sanitizer.violations`` (and the tracer, if any).
+    recorder:
+        Optional append-only sink for the scheduler's deterministic
+        replay log (see :mod:`repro.verify.replay`).
+    extra_ops:
+        Additional :class:`~repro.simmpi.ops.ReduceOp` objects to
+        register after the predefined ones (the predefined handle
+        layout is unchanged).  Used by the conformance harness to test
+        non-commutative reduction semantics.
     """
 
     #: Recognised collective-algorithm selections per operation.
@@ -79,6 +98,9 @@ class SimMPI:
         algorithms: dict[str, str] | None = None,
         alloc_cap: int | None = None,
         tracer=None,
+        sanitize: "bool | Sanitizer" = False,
+        recorder=None,
+        extra_ops: Sequence[ReduceOp] = (),
     ):
         if nranks < 1:
             raise ValueError(f"need at least one rank, got {nranks}")
@@ -87,6 +109,14 @@ class SimMPI:
         self.arena_size = arena_size
         self.alloc_cap = alloc_cap
         self.tracer = tracer
+        if sanitize is True:
+            self.sanitizer: Sanitizer | None = Sanitizer(tracer=tracer)
+        elif isinstance(sanitize, Sanitizer):
+            # Not a truthiness test: an empty Sanitizer has len() == 0.
+            self.sanitizer = sanitize
+        else:
+            self.sanitizer = None
+        self.recorder = recorder
         self.algorithms = {"bcast": "binomial", "allreduce": "auto"}
         for key, value in (algorithms or {}).items():
             if key not in self.ALGORITHM_CHOICES:
@@ -98,7 +128,7 @@ class SimMPI:
                 )
             self.algorithms[key] = value
         self.type_space, self.type_handles = make_datatype_space()
-        self.op_space, self.op_handles = make_op_space()
+        self.op_space, self.op_handles = make_op_space(extra_ops=tuple(extra_ops))
         self.comm_factory = CommFactory()
         self.world, self.world_handle = self.comm_factory.world(nranks)
         self._used = False
@@ -119,9 +149,20 @@ class SimMPI:
             step_budget=self.step_budget,
             tracer=self.tracer,
             comm_lookup=self.comm_factory.context_map,
+            recorder=self.recorder,
         )
         results = scheduler.run()
-        return RunResult(results=results, steps=scheduler.steps, contexts=contexts)
+        if self.sanitizer is not None:
+            # Teardown sweep: a clean finish may still have leaked
+            # messages in the match space or unwaited requests.
+            self.sanitizer.check_scheduler(scheduler)
+            self.sanitizer.check_contexts(contexts)
+        return RunResult(
+            results=results,
+            steps=scheduler.steps,
+            contexts=contexts,
+            sanitizer=self.sanitizer,
+        )
 
 
 def run_app(
@@ -133,6 +174,9 @@ def run_app(
     algorithms: dict[str, str] | None = None,
     alloc_cap: int | None = None,
     tracer=None,
+    sanitize: "bool | Sanitizer" = False,
+    recorder=None,
+    extra_ops: Sequence[ReduceOp] = (),
 ) -> RunResult:
     """Convenience wrapper: build a fresh runtime and run ``app_fn``."""
     return SimMPI(
@@ -142,4 +186,7 @@ def run_app(
         algorithms=algorithms,
         alloc_cap=alloc_cap,
         tracer=tracer,
+        sanitize=sanitize,
+        recorder=recorder,
+        extra_ops=extra_ops,
     ).run(app_fn, instruments=instruments)

@@ -1,0 +1,137 @@
+"""Opt-in runtime sanitizers for the simulated MPI stack.
+
+The simulator is deliberately permissive at run time — heap smashes
+succeed, short receives are legal, unconsumed messages vanish at job
+teardown — because that permissiveness *is* the fault model.  The
+sanitizer layer is the opposite stance for fault-free verification
+runs: every condition that is silently tolerated on the injection path
+becomes a recorded violation, so a refactor of the scheduler, memory
+arena, or a collective algorithm cannot silently change semantics.
+
+Checks (enabled with ``SimMPI(sanitize=True)`` / ``run_app(sanitize=...)``):
+
+* ``unmatched_message`` — a send was never received by job end
+  (scheduler teardown; the clean analogue of the mailbox residue that
+  hang forensics report);
+* ``request_leak`` — a nonblocking request was never completed with
+  ``Wait``/``Waitall`` (context teardown);
+* ``buffer_overlap`` — a read or write stayed inside the arena but
+  crossed from one allocation into another (the heap-smash path);
+* ``oob_access`` — tripwire fired just before a simulated segfault, so
+  the evidence survives even though the access raises;
+* ``short_recv`` — a collective's receive payload was smaller than the
+  posted buffer (count mismatch between sender and receiver);
+* ``size_indivisible`` — a received payload's byte length is not a
+  multiple of the receiver's element size (datatype mismatch).
+
+Violations are recorded on the :class:`Sanitizer` and, when a tracer is
+attached, mirrored as ``sanitize_violation`` events.  ``strict=True``
+additionally raises :class:`SanitizerViolation` at the first finding —
+deliberately *not* a :class:`~repro.simmpi.errors.SimMPIError`, so a
+strict sanitizer failure can never be misclassified as one of the
+paper's application responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Every violation kind the sanitizer layer can record.
+VIOLATION_KINDS = (
+    "unmatched_message",
+    "request_leak",
+    "buffer_overlap",
+    "oob_access",
+    "short_recv",
+    "size_indivisible",
+)
+
+
+class SanitizerViolation(AssertionError):
+    """Raised in strict mode at the first recorded violation."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One sanitizer finding.
+
+    ``data`` carries kind-specific evidence (addresses, match keys,
+    byte counts) with JSON-safe values only.
+    """
+
+    kind: str
+    rank: int
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        body = " ".join(f"{k}={v}" for k, v in sorted(self.data.items()))
+        return f"{self.kind} on rank {self.rank}: {body}"
+
+
+class Sanitizer:
+    """Collects violations from the scheduler, memory, and contexts.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`~repro.obs.events.Tracer`; every violation is
+        mirrored as a ``sanitize_violation`` event.
+    strict:
+        Raise :class:`SanitizerViolation` at the first finding instead
+        of accumulating.
+    """
+
+    __slots__ = ("tracer", "strict", "violations")
+
+    def __init__(self, tracer=None, strict: bool = False):
+        self.tracer = tracer
+        self.strict = strict
+        self.violations: list[Violation] = []
+
+    def record(self, kind: str, rank: int, **data: Any) -> None:
+        v = Violation(kind, rank, data)
+        self.violations.append(v)
+        if self.tracer is not None:
+            self.tracer.emit("sanitize_violation", rank, kind=kind, **data)
+        if self.strict:
+            raise SanitizerViolation(v.describe())
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for v in self.violations:
+            counts[v.kind] = counts.get(v.kind, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        if not self.violations:
+            return "sanitizer: clean"
+        lines = [f"sanitizer: {len(self.violations)} violation(s)"]
+        lines += [f"  {v.describe()}" for v in self.violations]
+        return "\n".join(lines)
+
+    # -- teardown checks (called by SimMPI.run after a clean finish) --
+
+    def check_scheduler(self, scheduler) -> None:
+        """Flag messages still queued in the match space at job end."""
+        for key, queue in sorted(scheduler.mailbox.items()):
+            ctx, src, dst, tag = key
+            self.record(
+                "unmatched_message", src,
+                ctx=ctx, src=src, dst=dst, tag=tag, queued=len(queue),
+            )
+
+    def check_contexts(self, contexts) -> None:
+        """Flag nonblocking requests never completed with Wait."""
+        for context in contexts:
+            for req in getattr(context, "_live_requests", ()):
+                if not req.complete:
+                    p = req._pending
+                    self.record(
+                        "request_leak", context.rank,
+                        kind_=req.kind,
+                        source=p.get("source"), tag=p.get("tag"),
+                    )

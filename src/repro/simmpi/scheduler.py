@@ -52,6 +52,13 @@ class Scheduler:
     comm_lookup:
         Optional live-communicator lookup used to annotate hang
         forensics with communicator names and groups.
+    recorder:
+        Optional append-only sink (anything with ``append``) receiving
+        one compact tuple per scheduling decision — every syscall
+        dispatch, block, and message match, in execution order.  This is
+        the deterministic replay log (see :mod:`repro.verify.replay`):
+        two runs of the same program are equivalent iff their recorded
+        streams are identical.  ``None`` keeps the hot path unrecorded.
     """
 
     def __init__(
@@ -60,11 +67,13 @@ class Scheduler:
         step_budget: int = DEFAULT_STEP_BUDGET,
         tracer=None,
         comm_lookup: CommLookup | None = None,
+        recorder=None,
     ):
         self.fibers = fibers
         self.step_budget = step_budget
         self.tracer = tracer
         self.comm_lookup = comm_lookup
+        self.recorder = recorder
         self.steps = 0
         #: Unconsumed messages: match key -> FIFO of payloads.
         self.mailbox: dict[MatchKey, deque[bytes]] = {}
@@ -81,6 +90,10 @@ class Scheduler:
             waiter.state = FiberState.READY
             waiter.wait_reason = ""
             self._ready.append(waiter)
+            if self.recorder is not None:
+                self.recorder.append(
+                    ("M", waiter.rank, *key, len(call.payload))
+                )
             if self.tracer is not None:
                 self.tracer.emit(
                     "match", waiter.rank,
@@ -108,6 +121,8 @@ class Scheduler:
             fiber.resume_value = queue.popleft()
             if not queue:
                 del self.mailbox[key]
+            if self.recorder is not None:
+                self.recorder.append(("R", fiber.rank, *key, len(fiber.resume_value)))
             if self.tracer is not None:
                 self.tracer.emit(
                     "match", fiber.rank,
@@ -122,6 +137,8 @@ class Scheduler:
             f"recv(ctx={call.context_id}, src={call.src}, dst={call.dst}, tag={call.tag:#x})"
         )
         self.waiting[key] = fiber
+        if self.recorder is not None:
+            self.recorder.append(("B", fiber.rank, *key))
         if self.tracer is not None:
             self.tracer.emit(
                 "rank_blocked", fiber.rank,
@@ -166,6 +183,7 @@ class Scheduler:
         ready = self._ready = deque(self.fibers)
         waiting = self.waiting
         tracer = self.tracer
+        recorder = self.recorder
         budget = self.step_budget
         handle_send = self._handle_send
         handle_recv = self._handle_recv
@@ -186,6 +204,8 @@ class Scheduler:
                 except StopIteration as stop:  # fiber finished
                     fiber.state = DONE
                     fiber.result = stop.value
+                    if recorder is not None:
+                        recorder.append(("D", fiber.rank))
                     continue
                 except SimMPIError:
                     fiber.state = FAILED
@@ -199,6 +219,11 @@ class Scheduler:
                     steps += 1
                     if steps > budget:
                         raise StepBudgetExceeded(budget, **self._forensics())
+                    if recorder is not None:
+                        recorder.append(
+                            ("S", fiber.rank, call.context_id, call.src,
+                             call.dst, call.tag, len(call.payload))
+                        )
                     if tracer is not None:
                         tracer.emit(
                             "send", fiber.rank,
@@ -217,12 +242,19 @@ class Scheduler:
                     steps += call.weight
                     if steps > budget:
                         raise StepBudgetExceeded(budget, **self._forensics())
+                    if recorder is not None:
+                        recorder.append(("P", fiber.rank, call.weight))
                     ready.append(fiber)
                 # Subclassed syscalls take the original generic path.
                 elif isinstance(call, Send):
                     steps += 1
                     if steps > budget:
                         raise StepBudgetExceeded(budget, **self._forensics())
+                    if recorder is not None:
+                        recorder.append(
+                            ("S", fiber.rank, call.context_id, call.src,
+                             call.dst, call.tag, len(call.payload))
+                        )
                     if tracer is not None:
                         tracer.emit(
                             "send", fiber.rank,
@@ -241,6 +273,8 @@ class Scheduler:
                     steps += call.weight
                     if steps > budget:
                         raise StepBudgetExceeded(budget, **self._forensics())
+                    if recorder is not None:
+                        recorder.append(("P", fiber.rank, call.weight))
                     ready.append(fiber)
                 else:  # pragma: no cover - defensive
                     raise TypeError(f"fiber {fiber.rank} yielded {call!r}")

@@ -1,0 +1,50 @@
+"""``repro.verify`` — the independent oracle for the simulator stack.
+
+Every paper figure rests on :mod:`repro.simmpi` faithfully reproducing
+MPI collective semantics, and every scaling PR rewrites some hot part
+of it.  This package is the cross-check that keeps those two facts
+compatible:
+
+* :mod:`repro.verify.reference` — a pure-numpy, schedule-free model of
+  each collective's mathematical semantics;
+* :mod:`repro.verify.conformance` — a differential harness fuzzing
+  every algorithm variant against the reference;
+* :mod:`repro.verify.replay` — deterministic scheduler replay logs and
+  a bit-identical replayer;
+* :mod:`repro.verify.mutants` — seeded defects proving the harness has
+  teeth (a verifier that cannot fail a broken simulator verifies
+  nothing);
+* sanitizers live in :mod:`repro.simmpi.sanitize` (they are wired
+  through the runtime) and are re-exported here.
+"""
+
+from ..simmpi.sanitize import Sanitizer, SanitizerViolation, Violation
+from .conformance import (
+    CaseFailure,
+    CollectiveReport,
+    ConformanceReport,
+    FUZZED_COLLECTIVES,
+    run_conformance,
+)
+from .mutants import MUTANTS, seeded_mutant
+from .replay import ReplayLog, ReplayReport, record_run, replay_run
+from .sanitize_sweep import SweepResult, sanitize_sweep
+
+__all__ = [
+    "CaseFailure",
+    "CollectiveReport",
+    "ConformanceReport",
+    "FUZZED_COLLECTIVES",
+    "MUTANTS",
+    "ReplayLog",
+    "ReplayReport",
+    "Sanitizer",
+    "SanitizerViolation",
+    "SweepResult",
+    "Violation",
+    "record_run",
+    "replay_run",
+    "run_conformance",
+    "sanitize_sweep",
+    "seeded_mutant",
+]

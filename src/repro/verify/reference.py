@@ -1,0 +1,268 @@
+"""Pure-numpy reference semantics for every simulated collective.
+
+Each function here states what a collective *means* — dense array
+slicing and canonical rank-ordered folds — with no schedule, no
+point-to-point decomposition, and no shared code with
+:mod:`repro.simmpi.collectives`.  That independence is the point: the
+conformance harness (:mod:`repro.verify.conformance`) runs the real
+drivers and diffs their buffer images against these functions, so a bug
+has to appear in *both* implementations, in the same way, to slip by.
+
+Conventions
+-----------
+* Inputs are per-rank numpy arrays: ``sendimgs[r]`` is rank ``r``'s send
+  buffer *image* at entry, ``recvimgs[r]`` its receive buffer image
+  (the sentinel-filled allocation).  All functions return the expected
+  final receive images — including buffers MPI leaves untouched
+  (non-root receive buffers, rank 0's Exscan output), which must come
+  back byte-identical to the sentinel.  That also catches stray writes.
+* Reductions fold strictly in comm rank order, ``(((r0 ∘ r1) ∘ r2) ∘ …)``,
+  the canonical order the MPI standard guarantees for non-commutative
+  ops, re-applying the datatype after every combine exactly as
+  :meth:`repro.simmpi.ops.ReduceOp.apply` does.
+* ``Alltoallw`` works on raw *byte* images (displacements are in bytes
+  and datatypes vary per peer).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..simmpi.ops import ReduceOp
+
+Array = np.ndarray
+
+
+def fold(op: ReduceOp, operands: Sequence[Array], np_dtype: np.dtype) -> Array:
+    """Canonical left fold of ``operands`` (already in comm rank order)."""
+    if not operands:
+        raise ValueError("fold of zero operands")
+    acc = np.array(operands[0], dtype=np_dtype, copy=True)
+    for nxt in operands[1:]:
+        with np.errstate(all="ignore"):
+            acc = op.fn(acc, np.asarray(nxt, dtype=np_dtype)).astype(np_dtype, copy=False)
+    return acc
+
+
+def _copies(imgs: Sequence[Array]) -> list[Array]:
+    return [np.array(img, copy=True) for img in imgs]
+
+
+# -- data-movement collectives ---------------------------------------------
+
+
+def ref_bcast(bufimgs: Sequence[Array], root: int) -> list[Array]:
+    """Every rank's buffer becomes the root's."""
+    return [np.array(bufimgs[root], copy=True) for _ in bufimgs]
+
+
+def ref_scatter(
+    rootsend: Array, recvimgs: Sequence[Array], count: int, root: int
+) -> list[Array]:
+    """Rank ``r`` receives block ``r`` of the root's send buffer."""
+    out = _copies(recvimgs)
+    for r in range(len(recvimgs)):
+        out[r][:count] = rootsend[r * count : (r + 1) * count]
+    return out
+
+
+def ref_gather(
+    sendimgs: Sequence[Array], recvimgs: Sequence[Array], count: int, root: int
+) -> list[Array]:
+    """The root's receive buffer becomes the rank-ordered concatenation."""
+    out = _copies(recvimgs)
+    for r, send in enumerate(sendimgs):
+        out[root][r * count : (r + 1) * count] = send[:count]
+    return out
+
+
+def ref_allgather(
+    sendimgs: Sequence[Array], recvimgs: Sequence[Array], count: int
+) -> list[Array]:
+    out = _copies(recvimgs)
+    for dst in range(len(recvimgs)):
+        for r, send in enumerate(sendimgs):
+            out[dst][r * count : (r + 1) * count] = send[:count]
+    return out
+
+
+def ref_alltoall(
+    sendimgs: Sequence[Array], recvimgs: Sequence[Array], count: int
+) -> list[Array]:
+    """Block transpose: dst's block ``src`` is src's block ``dst``."""
+    out = _copies(recvimgs)
+    for dst in range(len(recvimgs)):
+        for src in range(len(sendimgs)):
+            out[dst][src * count : (src + 1) * count] = sendimgs[src][
+                dst * count : (dst + 1) * count
+            ]
+    return out
+
+
+def ref_gatherv(
+    sendimgs: Sequence[Array],
+    recvimgs: Sequence[Array],
+    counts: Sequence[int],
+    displs: Sequence[int],
+    root: int,
+) -> list[Array]:
+    """Rank ``r``'s ``counts[r]`` elements land at ``displs[r]`` on root."""
+    out = _copies(recvimgs)
+    for r, send in enumerate(sendimgs):
+        c, d = counts[r], displs[r]
+        out[root][d : d + c] = send[:c]
+    return out
+
+
+def ref_scatterv(
+    rootsend: Array,
+    recvimgs: Sequence[Array],
+    counts: Sequence[int],
+    displs: Sequence[int],
+    root: int,
+) -> list[Array]:
+    out = _copies(recvimgs)
+    for r in range(len(recvimgs)):
+        c, d = counts[r], displs[r]
+        out[r][:c] = rootsend[d : d + c]
+    return out
+
+
+def ref_allgatherv(
+    sendimgs: Sequence[Array],
+    recvimgs: Sequence[Array],
+    counts: Sequence[int],
+    displs: Sequence[int],
+) -> list[Array]:
+    out = _copies(recvimgs)
+    for dst in range(len(recvimgs)):
+        for r, send in enumerate(sendimgs):
+            c, d = counts[r], displs[r]
+            out[dst][d : d + c] = send[:c]
+    return out
+
+
+def ref_alltoallv(
+    sendimgs: Sequence[Array],
+    recvimgs: Sequence[Array],
+    sendcounts: Sequence[Sequence[int]],
+    sdispls: Sequence[Sequence[int]],
+    recvcounts: Sequence[Sequence[int]],
+    rdispls: Sequence[Sequence[int]],
+) -> list[Array]:
+    """``sendcounts[src][dst]`` elements flow from src's ``sdispls[src][dst]``
+    to dst's ``rdispls[dst][src]`` (all in elements of the one datatype)."""
+    out = _copies(recvimgs)
+    for dst in range(len(recvimgs)):
+        for src in range(len(sendimgs)):
+            c = sendcounts[src][dst]
+            sd = sdispls[src][dst]
+            rd = rdispls[dst][src]
+            out[dst][rd : rd + c] = sendimgs[src][sd : sd + c]
+    return out
+
+
+def ref_alltoallw(
+    sendbytes: Sequence[Array],
+    recvbytes: Sequence[Array],
+    sendcounts: Sequence[Sequence[int]],
+    sdispls: Sequence[Sequence[int]],
+    sendsizes: Sequence[Sequence[int]],
+    recvcounts: Sequence[Sequence[int]],
+    rdispls: Sequence[Sequence[int]],
+    recvsizes: Sequence[Sequence[int]],
+) -> list[Array]:
+    """Byte-image semantics: displacements in bytes, per-peer datatypes.
+
+    ``sendsizes[src][dst]`` is the element size of ``sendtypes[dst]`` on
+    ``src``; the pairwise byte volumes must agree (clean-draw invariant).
+    """
+    out = _copies(recvbytes)
+    for dst in range(len(recvbytes)):
+        for src in range(len(sendbytes)):
+            nbytes = sendcounts[src][dst] * sendsizes[src][dst]
+            assert nbytes == recvcounts[dst][src] * recvsizes[dst][src], (
+                "conformance draws must pair matching byte volumes"
+            )
+            sd = sdispls[src][dst]
+            rd = rdispls[dst][src]
+            out[dst][rd : rd + nbytes] = sendbytes[src][sd : sd + nbytes]
+    return out
+
+
+# -- reductions -------------------------------------------------------------
+
+
+def ref_reduce(
+    sendimgs: Sequence[Array],
+    recvimgs: Sequence[Array],
+    op: ReduceOp,
+    np_dtype: np.dtype,
+    root: int,
+) -> list[Array]:
+    """Only the root's receive buffer is written (canonical fold)."""
+    out = _copies(recvimgs)
+    count = min(len(img) for img in sendimgs)
+    out[root][:count] = fold(op, [img[:count] for img in sendimgs], np_dtype)
+    return out
+
+
+def ref_allreduce(
+    sendimgs: Sequence[Array],
+    recvimgs: Sequence[Array],
+    op: ReduceOp,
+    np_dtype: np.dtype,
+) -> list[Array]:
+    out = _copies(recvimgs)
+    count = min(len(img) for img in sendimgs)
+    total = fold(op, [img[:count] for img in sendimgs], np_dtype)
+    for r in range(len(recvimgs)):
+        out[r][:count] = total
+    return out
+
+
+def ref_reduce_scatter_block(
+    sendimgs: Sequence[Array],
+    recvimgs: Sequence[Array],
+    op: ReduceOp,
+    np_dtype: np.dtype,
+    recvcount: int,
+) -> list[Array]:
+    """Full fold, then rank ``r`` keeps block ``r``."""
+    out = _copies(recvimgs)
+    total = fold(op, sendimgs, np_dtype)
+    for r in range(len(recvimgs)):
+        out[r][:recvcount] = total[r * recvcount : (r + 1) * recvcount]
+    return out
+
+
+def ref_scan(
+    sendimgs: Sequence[Array],
+    recvimgs: Sequence[Array],
+    op: ReduceOp,
+    np_dtype: np.dtype,
+) -> list[Array]:
+    """Inclusive prefix: rank ``r`` gets the fold of ranks ``0..r``."""
+    out = _copies(recvimgs)
+    count = min(len(img) for img in sendimgs)
+    for r in range(len(sendimgs)):
+        out[r][:count] = fold(op, [img[:count] for img in sendimgs[: r + 1]], np_dtype)
+    return out
+
+
+def ref_exscan(
+    sendimgs: Sequence[Array],
+    recvimgs: Sequence[Array],
+    op: ReduceOp,
+    np_dtype: np.dtype,
+) -> list[Array]:
+    """Exclusive prefix: rank ``r`` gets the fold of ranks ``0..r-1``;
+    rank 0's receive buffer is untouched (MPI leaves it undefined; the
+    simulator's defined behaviour is "unwritten")."""
+    out = _copies(recvimgs)
+    count = min(len(img) for img in sendimgs)
+    for r in range(1, len(sendimgs)):
+        out[r][:count] = fold(op, [img[:count] for img in sendimgs[:r]], np_dtype)
+    return out

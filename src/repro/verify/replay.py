@@ -1,0 +1,175 @@
+"""Deterministic replay: record a run's scheduling, then prove it again.
+
+The simulator's claim to determinism is load-bearing — campaign resume,
+parallel sharding, and ML feature extraction all assume a run is a pure
+function of its seed — and every hot-path optimisation in the scheduler
+is a chance to quietly break it.  This module turns the claim into a
+checkable artifact:
+
+* :func:`record_run` executes an app with the scheduler's *recorder*
+  attached, capturing every decision the scheduler makes — fiber
+  scheduling (``"S"``/``"P"``/``"D"``), receive posting and blocking
+  (``"R"``/``"B"``), and message-match order (``"M"``) — plus a
+  canonical fingerprint of the per-rank results.
+* :func:`replay_run` executes the same app again and diffs the two logs
+  entry by entry; the report pinpoints the first divergent decision.
+
+Logs are plain tuples of ints/strings, JSON-serialisable, so a recorded
+run can be shipped in a bug report and replayed elsewhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..simmpi.runtime import RunResult, run_app
+
+Entry = tuple  # one scheduler decision, e.g. ("M", rank, ctx, src, dst, tag, nbytes)
+
+
+def fingerprint(obj: Any) -> str:
+    """Canonical content hash: equal structures hash equal, bit-for-bit.
+
+    Floats hash their IEEE bits (no repr rounding), numpy arrays their
+    shape + dtype + raw bytes, containers recurse.  Anything exotic
+    falls back to ``repr``.
+    """
+    h = hashlib.sha256()
+    _canon(obj, h)
+    return h.hexdigest()
+
+
+def _canon(obj: Any, h: "hashlib._Hash") -> None:
+    if obj is None or isinstance(obj, (bool, int, str)):
+        h.update(f"{type(obj).__name__}:{obj!r};".encode())
+    elif isinstance(obj, float):
+        h.update(b"f" + struct.pack("<d", obj))
+    elif isinstance(obj, complex):
+        h.update(b"c" + struct.pack("<dd", obj.real, obj.imag))
+    elif isinstance(obj, (bytes, bytearray)):
+        h.update(b"b" + bytes(obj))
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(f"a{arr.shape}{arr.dtype.str}".encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, np.generic):
+        _canon(obj.item(), h)
+    elif isinstance(obj, (list, tuple)):
+        h.update(f"l{len(obj)}".encode())
+        for item in obj:
+            _canon(item, h)
+    elif isinstance(obj, dict):
+        h.update(f"d{len(obj)}".encode())
+        for key in sorted(obj, key=repr):
+            _canon(key, h)
+            _canon(obj[key], h)
+    else:
+        h.update(f"o:{obj!r};".encode())
+
+
+@dataclass
+class ReplayLog:
+    """Everything needed to re-verify one run's scheduling decisions."""
+
+    nranks: int
+    entries: list[Entry]
+    steps: int
+    results_fingerprint: str
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "nranks": self.nranks,
+                "steps": self.steps,
+                "results_fingerprint": self.results_fingerprint,
+                "entries": [list(e) for e in self.entries],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReplayLog":
+        data = json.loads(text)
+        return cls(
+            nranks=data["nranks"],
+            entries=[tuple(e) for e in data["entries"]],
+            steps=data["steps"],
+            results_fingerprint=data["results_fingerprint"],
+        )
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a recorded run."""
+
+    identical: bool
+    entries_match: bool
+    steps_match: bool
+    results_match: bool
+    #: Index of the first divergent log entry (None when logs agree).
+    first_divergence: int | None
+    detail: str
+    recorded: ReplayLog = field(repr=False)
+    replayed: ReplayLog = field(repr=False)
+
+
+def record_run(
+    app_fn: Callable, nranks: int, **run_kwargs: Any
+) -> tuple[RunResult, ReplayLog]:
+    """Run ``app_fn`` with the scheduler recorder attached."""
+    recorder: list[Entry] = []
+    result = run_app(app_fn, nranks, recorder=recorder, **run_kwargs)
+    log = ReplayLog(
+        nranks=nranks,
+        entries=recorder,
+        steps=result.steps,
+        results_fingerprint=fingerprint(result.results),
+    )
+    return result, log
+
+
+def replay_run(
+    app_fn: Callable, nranks: int, log: ReplayLog, **run_kwargs: Any
+) -> ReplayReport:
+    """Re-execute and diff against a recorded log, decision by decision."""
+    _, fresh = record_run(app_fn, nranks, **run_kwargs)
+
+    first = None
+    for i, (a, b) in enumerate(zip(log.entries, fresh.entries)):
+        if tuple(a) != tuple(b):
+            first = i
+            break
+    if first is None and len(log.entries) != len(fresh.entries):
+        first = min(len(log.entries), len(fresh.entries))
+
+    entries_match = first is None
+    steps_match = log.steps == fresh.steps
+    results_match = log.results_fingerprint == fresh.results_fingerprint
+    identical = entries_match and steps_match and results_match
+
+    if identical:
+        detail = f"bit-identical: {len(log.entries)} decisions, {log.steps} steps"
+    elif not entries_match:
+        rec = log.entries[first] if first < len(log.entries) else "<end of log>"
+        got = fresh.entries[first] if first < len(fresh.entries) else "<end of log>"
+        detail = f"first divergence at decision {first}: recorded {rec}, replayed {got}"
+    elif not steps_match:
+        detail = f"step counts differ: recorded {log.steps}, replayed {fresh.steps}"
+    else:
+        detail = "scheduling identical but per-rank results differ"
+
+    return ReplayReport(
+        identical=identical,
+        entries_match=entries_match,
+        steps_match=steps_match,
+        results_match=results_match,
+        first_divergence=first,
+        detail=detail,
+        recorded=log,
+        replayed=fresh,
+    )

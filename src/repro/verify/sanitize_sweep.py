@@ -1,0 +1,65 @@
+"""Sanitizer soak: run every registered workload golden, sanitizers armed.
+
+The conformance fuzzer exercises single collectives; this sweep runs the
+*real* applications — full phase structure, sub-communicators,
+nonblocking halo exchanges — under every sanitizer tripwire.  A clean
+tree must produce **zero** violations here (the sanitizers' false-
+positive contract); a refactor that starts leaking requests or
+truncating collective payloads fails this sweep before it ever skews a
+campaign histogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..apps.registry import APPLICATIONS, make_app
+from ..simmpi.runtime import run_app
+
+
+@dataclass
+class SweepResult:
+    """Sanitizer findings for one golden application run."""
+
+    app: str
+    problem_class: str
+    nranks: int
+    steps: int
+    violations: list[str] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.error is None
+
+    def describe(self) -> str:
+        status = "clean" if self.ok else (self.error or f"{len(self.violations)} violations")
+        return f"{self.app}/{self.problem_class} nranks={self.nranks}: {status}"
+
+
+def sanitize_sweep(
+    apps: Sequence[str] | None = None, problem_class: str = "T"
+) -> list[SweepResult]:
+    """Golden-run each registered app with ``sanitize=True``.
+
+    Returns one :class:`SweepResult` per app; a crash is reported in
+    ``error`` rather than raised, so one broken workload cannot mask
+    the others' findings.
+    """
+    names = list(apps) if apps is not None else sorted(APPLICATIONS)
+    results: list[SweepResult] = []
+    for name in names:
+        app = make_app(name, problem_class)
+        entry = SweepResult(
+            app=name, problem_class=problem_class, nranks=app.nranks, steps=0
+        )
+        try:
+            run = run_app(app.main, app.nranks, sanitize=True)
+            entry.steps = run.steps
+            if run.sanitizer is not None:
+                entry.violations = [v.describe() for v in run.sanitizer.violations]
+        except Exception as exc:
+            entry.error = f"{type(exc).__name__}: {exc}"
+        results.append(entry)
+    return results

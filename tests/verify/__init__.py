@@ -1,0 +1,3 @@
+"""Tests for the repro.verify subsystem: reference semantics, differential
+conformance, sanitizers, deterministic replay, mutant self-tests, and the
+campaign-level regression pins that ride along."""

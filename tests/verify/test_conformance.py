@@ -1,0 +1,71 @@
+"""The full differential conformance sweep: every collective algorithm
+variant, fuzzed against the pure-numpy reference model.
+
+This is the acceptance-criteria run — 200 RNG-driven draws per
+collective, all 16 collectives, sanitizers armed — so it is module-
+scoped and shared by the assertions below.
+"""
+
+import pytest
+
+from repro.verify import FUZZED_COLLECTIVES, run_conformance
+
+DRAWS = 200
+SEED = 2026
+
+
+@pytest.fixture(scope="module")
+def full_sweep():
+    return run_conformance(seed=SEED, draws_per_collective=DRAWS)
+
+
+class TestFullSweep:
+    def test_every_driver_matches_the_reference(self, full_sweep):
+        assert full_sweep.ok, full_sweep.describe()
+
+    def test_covers_all_sixteen_collectives(self, full_sweep):
+        assert len(FUZZED_COLLECTIVES) == 16
+        assert set(full_sweep.reports) == set(FUZZED_COLLECTIVES)
+
+    def test_draw_volume_meets_floor(self, full_sweep):
+        for name, rep in full_sweep.reports.items():
+            assert rep.cases >= DRAWS, f"{name}: only {rep.cases} cases"
+        # Bcast fuzzes both algorithm variants per draw.
+        assert full_sweep.reports["Bcast"].cases == 2 * DRAWS
+        # Allreduce fuzzes reduce_bcast always, recursive_doubling when
+        # the drawn size is a power of two.
+        assert full_sweep.reports["Allreduce"].cases > DRAWS
+
+    def test_checks_count_individual_buffer_comparisons(self, full_sweep):
+        assert full_sweep.total_checks > full_sweep.total_cases
+        d = full_sweep.to_dict()
+        assert d["ok"] is True
+        assert d["total_cases"] == full_sweep.total_cases
+        assert set(d["collectives"]) == set(FUZZED_COLLECTIVES)
+
+
+class TestHarness:
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(ValueError, match="unknown collective"):
+            run_conformance(draws_per_collective=1, collectives=["Allreduce", "Bogus"])
+
+    def test_same_seed_reproduces_case_for_case(self):
+        a = run_conformance(seed=7, draws_per_collective=5, collectives=["Alltoallv"])
+        b = run_conformance(seed=7, draws_per_collective=5, collectives=["Alltoallv"])
+        assert a.to_dict() == b.to_dict()
+
+    def test_subset_runs_only_requested(self):
+        rep = run_conformance(seed=1, draws_per_collective=3, collectives=["Scan"])
+        assert list(rep.reports) == ["Scan"]
+        assert rep.ok
+
+    def test_progress_callback_sees_each_collective(self):
+        seen = []
+        run_conformance(
+            seed=1,
+            draws_per_collective=2,
+            collectives=["Bcast", "Barrier"],
+            progress=lambda name, rep: seen.append((name, rep.cases)),
+        )
+        assert [name for name, _ in seen] == ["Bcast", "Barrier"]
+        assert all(cases > 0 for _, cases in seen)

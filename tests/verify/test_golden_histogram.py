@@ -1,0 +1,69 @@
+"""Golden campaign regression: a small fixed-seed LU campaign at 8 ranks
+must reproduce its pinned per-outcome histogram bit-for-bit.
+
+Any change to fault-target selection, RNG derivation, collective
+scheduling, outcome classification, or the LU kernel itself shows up
+here as a histogram delta.  If a change is *intentional*, re-derive the
+constants with the recipe below and update the pins in the same commit:
+
+    app = LUKernel(8, rows_per_rank=4, ncols=32, iterations=4, omega=1.2, seed=99)
+    profile = profile_application(app)
+    points = enumerate_points(profile)[::9][:8]
+    result = Campaign(app, profile, tests_per_point=10,
+                      param_policy="all", seed=2026).run(points)
+"""
+
+import pytest
+
+from repro.apps.npb.lu_kernel import LUKernel
+from repro.injection import Campaign, enumerate_points
+from repro.injection.outcome import Outcome
+from repro.profiling import profile_application
+
+POINT_STRIDE = 9
+N_POINTS = 8
+TESTS_PER_POINT = 10
+CAMPAIGN_SEED = 2026
+
+GOLDEN_HISTOGRAM = {
+    Outcome.SUCCESS: 26,
+    Outcome.APP_DETECTED: 0,
+    Outcome.MPI_ERR: 12,
+    Outcome.SEG_FAULT: 35,
+    Outcome.WRONG_ANS: 7,
+    Outcome.INF_LOOP: 0,
+}
+GOLDEN_ERROR_RATES = [0.6, 0.7, 0.8, 0.8, 0.5, 0.8, 0.4, 0.8]
+
+
+@pytest.fixture(scope="module")
+def golden_campaign():
+    app = LUKernel(8, rows_per_rank=4, ncols=32, iterations=4, omega=1.2, seed=99)
+    profile = profile_application(app)
+    points = enumerate_points(profile)[::POINT_STRIDE][:N_POINTS]
+    assert len(points) == N_POINTS
+    campaign = Campaign(
+        app, profile, tests_per_point=TESTS_PER_POINT,
+        param_policy="all", seed=CAMPAIGN_SEED,
+    )
+    return campaign.run(points)
+
+
+class TestGoldenHistogram:
+    def test_outcome_histogram_is_pinned(self, golden_campaign):
+        got = golden_campaign.outcome_histogram()
+        assert got == GOLDEN_HISTOGRAM, (
+            f"histogram drifted: {({o.name: c for o, c in got.items()})}"
+        )
+
+    def test_no_tool_errors(self, golden_campaign):
+        assert golden_campaign.tool_error_count() == 0
+
+    def test_per_point_error_rates_pinned(self, golden_campaign):
+        got = [round(r, 6) for r in golden_campaign.error_rates()]
+        assert got == GOLDEN_ERROR_RATES
+
+    def test_total_test_volume(self, golden_campaign):
+        total = sum(pr.n_tests for pr in golden_campaign.points.values())
+        assert total == N_POINTS * TESTS_PER_POINT
+        assert sum(GOLDEN_HISTOGRAM.values()) == total

@@ -1,0 +1,67 @@
+"""The harness must be able to fail: each seeded mutant installs a
+realistic defect that the conformance sweep is required to catch, and
+removing the mutant must restore a clean pass.
+"""
+
+import importlib
+
+import pytest
+
+from repro.verify import MUTANTS, run_conformance, seeded_mutant
+
+DRAWS = 15  # enough draws that every mutant's trigger conditions occur
+
+
+@pytest.mark.parametrize("name", sorted(MUTANTS))
+def test_mutant_is_caught_then_cured(name):
+    mutant = MUTANTS[name]
+    broken = run_conformance(
+        seed=5, draws_per_collective=DRAWS, collectives=list(mutant.detected_by),
+        mutant=name,
+    )
+    assert not broken.ok, f"{name} survived the sweep undetected"
+    for coll in mutant.detected_by:
+        rep = broken.reports[coll]
+        assert rep.failures or rep.suppressed, f"{name} not caught by {coll}"
+    # The context manager restored the originals: the same sweep is clean.
+    cured = run_conformance(
+        seed=5, draws_per_collective=DRAWS, collectives=list(mutant.detected_by)
+    )
+    assert cured.ok, cured.describe()
+
+
+def test_patched_attributes_are_restored_exactly():
+    for name, mutant in MUTANTS.items():
+        originals = {
+            (mod, attr): getattr(importlib.import_module(mod), attr)
+            for mod, attr, _ in mutant.patches
+        }
+        with seeded_mutant(name):
+            for (mod, attr), orig in originals.items():
+                assert getattr(importlib.import_module(mod), attr) is not orig
+        for (mod, attr), orig in originals.items():
+            assert getattr(importlib.import_module(mod), attr) is orig
+
+
+def test_restores_even_when_body_raises():
+    mutant = MUTANTS["bcast_shifted_root"]
+    mod, attr, _ = mutant.patches[0]
+    original = getattr(importlib.import_module(mod), attr)
+    with pytest.raises(RuntimeError):
+        with seeded_mutant("bcast_shifted_root"):
+            raise RuntimeError("boom")
+    assert getattr(importlib.import_module(mod), attr) is original
+
+
+def test_unknown_mutant_rejected():
+    with pytest.raises(ValueError, match="unknown mutant"):
+        with seeded_mutant("nonexistent"):
+            pass  # pragma: no cover
+
+
+def test_mutants_declare_detection_surface():
+    from repro.verify import FUZZED_COLLECTIVES
+
+    for mutant in MUTANTS.values():
+        assert mutant.detected_by, mutant.name
+        assert set(mutant.detected_by) <= set(FUZZED_COLLECTIVES)

@@ -1,0 +1,193 @@
+"""Hand-computed unit checks of the pure-numpy reference model.
+
+The conformance harness trusts these functions as its oracle, so each
+one gets at least one case small enough to verify by eye.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.ops import ReduceOp
+from repro.verify.reference import (
+    fold,
+    ref_allgather,
+    ref_allgatherv,
+    ref_allreduce,
+    ref_alltoall,
+    ref_alltoallv,
+    ref_alltoallw,
+    ref_bcast,
+    ref_exscan,
+    ref_gather,
+    ref_gatherv,
+    ref_reduce,
+    ref_reduce_scatter_block,
+    ref_scan,
+    ref_scatter,
+    ref_scatterv,
+)
+
+TAKELEFT = ReduceOp("FF_TAKELEFT", lambda a, b: a, commutative=False)
+TAKERIGHT = ReduceOp("FF_TAKERIGHT", lambda a, b: b, commutative=False)
+SUM = ReduceOp("SUM", np.add)
+
+I4 = np.dtype("<i4")
+
+
+def arr(*vals, dtype=I4):
+    return np.array(vals, dtype=dtype)
+
+
+class TestFold:
+    def test_canonical_order_with_noncommutative_ops(self):
+        """A left fold of [r0, r1, r2] keeps r0 under TAKELEFT and ends
+        at r2 under TAKERIGHT — any other fold order breaks one of them."""
+        operands = [arr(10), arr(20), arr(30)]
+        assert fold(TAKELEFT, operands, I4)[0] == 10
+        assert fold(TAKERIGHT, operands, I4)[0] == 30
+
+    def test_dtype_reapplied_every_combine(self):
+        """int8 SUM must wrap at every step, exactly as ReduceOp.apply
+        does on the wire — not accumulate in a wider type."""
+        i1 = np.dtype("<i1")
+        operands = [arr(120, dtype=i1), arr(120, dtype=i1), arr(120, dtype=i1)]
+        # 120 + 120 wraps to -16; -16 + 120 = 104.
+        assert fold(SUM, operands, i1)[0] == np.int8(104)
+
+    def test_zero_operands_rejected(self):
+        with pytest.raises(ValueError):
+            fold(SUM, [], I4)
+
+
+class TestDataMovement:
+    def test_bcast_copies_root_everywhere(self):
+        bufs = [arr(1, 2), arr(3, 4), arr(5, 6)]
+        out = ref_bcast(bufs, root=1)
+        assert all(np.array_equal(o, arr(3, 4)) for o in out)
+        # Inputs must not be aliased into the output.
+        out[0][0] = 99
+        assert bufs[1][0] == 3
+
+    def test_scatter_gather_roundtrip(self):
+        rootsend = arr(0, 1, 2, 3, 4, 5)
+        sentinels = [arr(-1, -1, -1) for _ in range(3)]
+        scattered = ref_scatter(rootsend, sentinels, count=2, root=0)
+        assert [list(s[:2]) for s in scattered] == [[0, 1], [2, 3], [4, 5]]
+        # Elements beyond count keep the sentinel.
+        assert all(s[2] == -1 for s in scattered)
+        gathered = ref_gather(scattered, [arr(*[-1] * 6) for _ in range(3)], 2, root=2)
+        assert list(gathered[2]) == [0, 1, 2, 3, 4, 5]
+        # Non-root receive buffers are untouched.
+        assert list(gathered[0]) == [-1] * 6
+
+    def test_alltoall_is_block_transpose(self):
+        sends = [arr(0, 1, 2), arr(10, 11, 12), arr(20, 21, 22)]  # count=1, one block per dst
+        recvs = [arr(-1, -1, -1) for _ in range(3)]
+        out = ref_alltoall(sends, recvs, count=1)
+        for dst in range(3):
+            assert list(out[dst]) == [sends[src][dst] for src in range(3)]
+
+    def test_allgather_concatenates_on_every_rank(self):
+        sends = [arr(7), arr(8)]
+        out = ref_allgather(sends, [arr(-1, -1) for _ in range(2)], count=1)
+        assert all(list(o) == [7, 8] for o in out)
+
+
+class TestVVariants:
+    def test_gatherv_lands_at_displacements(self):
+        sends = [arr(1, 2), arr(3), arr()]
+        recvs = [arr(*[-1] * 8) for _ in range(3)]
+        out = ref_gatherv(sends, recvs, counts=[2, 1, 0], displs=[5, 0, 3], root=1)
+        assert list(out[1]) == [3, -1, -1, -1, -1, 1, 2, -1]
+        assert list(out[0]) == [-1] * 8
+
+    def test_scatterv_zero_count_rank_untouched(self):
+        rootsend = arr(*range(10))
+        recvs = [arr(-1, -1, -1) for _ in range(3)]
+        out = ref_scatterv(rootsend, recvs, counts=[2, 0, 3], displs=[4, 0, 7], root=0)
+        assert list(out[0][:2]) == [4, 5]
+        assert list(out[1]) == [-1, -1, -1]
+        assert list(out[2]) == [7, 8, 9]
+
+    def test_allgatherv_preserves_gaps(self):
+        """Displacement gaps between blocks must keep their sentinel —
+        that is how stray writes are caught."""
+        sends = [arr(1), arr(2)]
+        recvs = [arr(-1, -1, -1, -1) for _ in range(2)]
+        out = ref_allgatherv(sends, recvs, counts=[1, 1], displs=[0, 3])
+        assert all(list(o) == [1, -1, -1, 2] for o in out)
+
+    def test_alltoallv_routes_src_dst_pairs(self):
+        sends = [arr(*range(0, 6)), arr(*range(10, 16))]
+        recvs = [arr(*[-1] * 6) for _ in range(2)]
+        out = ref_alltoallv(
+            sends,
+            recvs,
+            sendcounts=[[1, 2], [0, 3]],
+            sdispls=[[0, 2], [0, 1]],
+            recvcounts=[[1, 0], [2, 3]],
+            rdispls=[[5, 0], [0, 2]],
+        )
+        # dst 0: 1 elem from src0 sdispl 0 -> rdispl 5; 0 elems from src1.
+        assert list(out[0]) == [-1, -1, -1, -1, -1, 0]
+        # dst 1: 2 elems from src0 @ sdispl 2 -> rdispl 0; 3 from src1 @ 1 -> 2.
+        assert list(out[1]) == [2, 3, 11, 12, 13, -1]
+
+    def test_alltoallw_works_in_bytes_and_checks_volume(self):
+        sends = [np.arange(8, dtype=np.uint8), np.arange(100, 108, dtype=np.uint8)]
+        recvs = [np.full(8, 255, dtype=np.uint8) for _ in range(2)]
+        out = ref_alltoallw(
+            sends,
+            recvs,
+            sendcounts=[[1, 1], [1, 1]],
+            sdispls=[[0, 4], [0, 4]],
+            sendsizes=[[4, 4], [4, 4]],
+            recvcounts=[[1, 1], [1, 1]],
+            rdispls=[[0, 4], [0, 4]],
+            recvsizes=[[4, 4], [4, 4]],
+        )
+        assert list(out[0]) == [0, 1, 2, 3, 100, 101, 102, 103]
+        assert list(out[1]) == [4, 5, 6, 7, 104, 105, 106, 107]
+        with pytest.raises(AssertionError):
+            ref_alltoallw(
+                sends, recvs,
+                sendcounts=[[1, 1], [1, 1]], sdispls=[[0, 4], [0, 4]],
+                sendsizes=[[4, 4], [4, 4]],
+                recvcounts=[[2, 1], [1, 1]], rdispls=[[0, 4], [0, 4]],
+                recvsizes=[[4, 4], [4, 4]],
+            )
+
+
+class TestReductions:
+    def test_reduce_writes_only_root(self):
+        sends = [arr(1, 10), arr(2, 20), arr(3, 30)]
+        recvs = [arr(-1, -1) for _ in range(3)]
+        out = ref_reduce(sends, recvs, SUM, I4, root=2)
+        assert list(out[2]) == [6, 60]
+        assert list(out[0]) == [-1, -1] and list(out[1]) == [-1, -1]
+
+    def test_allreduce_noncommutative_keeps_rank_order(self):
+        sends = [arr(5), arr(6), arr(7), arr(8)]
+        recvs = [arr(-1) for _ in range(4)]
+        assert [o[0] for o in ref_allreduce(sends, recvs, TAKELEFT, I4)] == [5] * 4
+        assert [o[0] for o in ref_allreduce(sends, recvs, TAKERIGHT, I4)] == [8] * 4
+
+    def test_reduce_scatter_block_keeps_own_block(self):
+        sends = [arr(1, 2, 3, 4), arr(10, 20, 30, 40)]
+        recvs = [arr(-1, -1, -1) for _ in range(2)]
+        out = ref_reduce_scatter_block(sends, recvs, SUM, I4, recvcount=2)
+        assert list(out[0][:2]) == [11, 22] and out[0][2] == -1
+        assert list(out[1][:2]) == [33, 44]
+
+    def test_scan_inclusive_prefixes(self):
+        sends = [arr(1), arr(2), arr(3)]
+        out = ref_scan(sends, [arr(-1) for _ in range(3)], SUM, I4)
+        assert [o[0] for o in out] == [1, 3, 6]
+        out = ref_scan(sends, [arr(-1) for _ in range(3)], TAKERIGHT, I4)
+        assert [o[0] for o in out] == [1, 2, 3]
+
+    def test_exscan_rank0_untouched(self):
+        sends = [arr(1), arr(2), arr(3)]
+        out = ref_exscan(sends, [arr(-7) for _ in range(3)], SUM, I4)
+        assert out[0][0] == -7  # MPI leaves rank 0's recvbuf undefined; we pin "unwritten"
+        assert [out[1][0], out[2][0]] == [1, 3]

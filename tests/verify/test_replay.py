@@ -1,0 +1,117 @@
+"""Deterministic replay: record a run's scheduling decisions, replay it,
+and prove the logs and results are bit-identical — then prove the diff
+machinery actually notices a divergence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.verify import ReplayLog, record_run, replay_run
+from repro.verify.replay import fingerprint
+
+
+def ring_app(ctx):
+    """Mixed pt2pt + collective traffic so the log has every entry kind."""
+    buf = ctx.alloc(4, ctx.DOUBLE)
+    buf.view[:] = [ctx.rank + 0.5] * 4
+    peer = (ctx.rank + 1) % ctx.size
+    src = (ctx.rank - 1) % ctx.size
+    req = ctx.Irecv(buf.addr, 4, ctx.DOUBLE, src, 1, ctx.WORLD)
+    out = ctx.alloc(4, ctx.DOUBLE)
+    out.view[:] = buf.view
+    yield from ctx.Send(out.addr, 4, ctx.DOUBLE, peer, 1, ctx.WORLD)
+    yield from ctx.Wait(req)
+    yield from ctx.Allreduce(buf.addr, out.addr, 4, ctx.DOUBLE, ctx.SUM, ctx.WORLD)
+    return np.array(out.view)
+
+
+class TestRecordReplay:
+    def test_replay_is_bit_identical(self):
+        result, log = record_run(ring_app, 4)
+        assert log.entries and log.steps == result.steps
+        report = replay_run(ring_app, 4, log)
+        assert report.identical, report.detail
+        assert report.first_divergence is None
+        assert "bit-identical" in report.detail
+
+    def test_log_contains_every_decision_kind(self):
+        def blocker(ctx):
+            """Rank 0 receives before rank 1 has sent, so the log shows a
+            block ('B') resolved by a send-side match ('M'); the reply
+            travels the other way and is found already queued ('R')."""
+            buf = ctx.alloc(1, ctx.INT)
+            if ctx.rank == 0:
+                yield from ctx.Recv(buf.addr, 1, ctx.INT, 1, 0, ctx.WORLD)
+                yield from ctx.Send(buf.addr, 1, ctx.INT, 1, 1, ctx.WORLD)
+            else:
+                buf.view[0] = 42
+                yield from ctx.Send(buf.addr, 1, ctx.INT, 0, 0, ctx.WORLD)
+                yield from ctx.Recv(buf.addr, 1, ctx.INT, 0, 1, ctx.WORLD)
+            return int(buf.view[0])
+
+        _, log = record_run(blocker, 2)
+        tags = {entry[0] for entry in log.entries}
+        assert {"B", "M", "R", "S", "D"} <= tags
+        assert replay_run(blocker, 2, log).identical
+
+    def test_json_roundtrip(self):
+        _, log = record_run(ring_app, 3)
+        restored = ReplayLog.from_json(log.to_json())
+        assert restored == log
+        assert replay_run(ring_app, 3, restored).identical
+
+
+class TestDivergenceDetection:
+    def test_tampered_entry_pinpointed(self):
+        _, log = record_run(ring_app, 4)
+        bad = ReplayLog(
+            nranks=log.nranks,
+            entries=list(log.entries),
+            steps=log.steps,
+            results_fingerprint=log.results_fingerprint,
+        )
+        bad.entries[5] = ("M", 999, 0, 0, 0, 0, 0)
+        report = replay_run(ring_app, 4, bad)
+        assert not report.identical
+        assert report.first_divergence == 5
+        assert "decision 5" in report.detail
+
+    def test_different_app_diverges(self):
+        def other(ctx):
+            buf = ctx.alloc(4, ctx.DOUBLE)
+            buf.view[:] = [float(ctx.rank)] * 4
+            yield from ctx.Allreduce(buf.addr, buf.addr, 4, ctx.DOUBLE, ctx.MAX, ctx.WORLD)
+            return np.array(buf.view)
+
+        _, log = record_run(ring_app, 4)
+        report = replay_run(other, 4, log)
+        assert not report.identical
+        assert report.first_divergence is not None
+
+    def test_truncated_log_diverges_at_end(self):
+        _, log = record_run(ring_app, 2)
+        short = ReplayLog(log.nranks, log.entries[:-2], log.steps, log.results_fingerprint)
+        report = replay_run(ring_app, 2, short)
+        assert not report.entries_match
+        assert report.first_divergence == len(short.entries)
+
+
+class TestFingerprint:
+    def test_equal_structures_hash_equal(self):
+        a = {"x": [1, 2.5, np.arange(4)], "y": (True, None)}
+        b = {"x": [1, 2.5, np.arange(4)], "y": (True, None)}
+        assert fingerprint(a) == fingerprint(b)
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ([1, 2], [2, 1]),
+            (1, 1.0),
+            (np.zeros(3, dtype=np.float32), np.zeros(3, dtype=np.float64)),
+            (np.zeros((2, 3)), np.zeros((3, 2))),
+            ("1", 1),
+            (0.0, -0.0),  # IEEE bits differ, and so must the hash
+        ],
+    )
+    def test_distinguishes(self, left, right):
+        assert fingerprint(left) != fingerprint(right)

@@ -1,0 +1,139 @@
+"""Sanitizer tripwires: each violation kind has a minimal reproducer,
+and the clean suite (every registered app, golden) reports nothing.
+"""
+
+import pytest
+
+from repro.simmpi import SegmentationFault, run_app
+from repro.simmpi.memory import Memory
+from repro.simmpi.sanitize import VIOLATION_KINDS, Sanitizer, SanitizerViolation
+from repro.verify import sanitize_sweep
+
+
+def kinds(result):
+    assert result.sanitizer is not None
+    return sorted({v.kind for v in result.sanitizer.violations})
+
+
+def orphan_send_app(ctx):
+    """Rank 0 eagerly sends a message nobody ever receives."""
+    buf = ctx.alloc(2, ctx.INT)
+    if ctx.rank == 0:
+        buf.view[:] = [1, 2]
+        yield from ctx.Send(buf.addr, 2, ctx.INT, 1, 77, ctx.WORLD)
+    yield from ctx.Barrier(ctx.WORLD)
+    return ctx.rank
+
+
+class TestUnmatchedMessage:
+    def test_orphan_send_flagged_at_teardown(self):
+        result = run_app(orphan_send_app, 2, sanitize=True)
+        assert kinds(result) == ["unmatched_message"]
+        v = result.sanitizer.violations[0]
+        assert v.rank == 0 and v.data["dst"] == 1 and v.data["tag"] == 77
+
+    def test_clean_run_records_nothing(self):
+        def app(ctx):
+            buf = ctx.alloc(1, ctx.INT)
+            buf.view[0] = ctx.rank
+            yield from ctx.Allreduce(buf.addr, buf.addr, 1, ctx.INT, ctx.SUM, ctx.WORLD)
+            return int(buf.view[0])
+
+        result = run_app(app, 3, sanitize=True)
+        assert result.sanitizer.violations == []
+        assert result.results == [3, 3, 3]
+
+
+class TestRequestLeak:
+    def test_unwaited_irecv_flagged(self):
+        def app(ctx):
+            buf = ctx.alloc(1, ctx.INT)
+            if ctx.rank == 1:
+                ctx.Irecv(buf.addr, 1, ctx.INT, 0, 5, ctx.WORLD)  # never waited
+            yield from ctx.Barrier(ctx.WORLD)
+            return None
+
+        result = run_app(app, 2, sanitize=True)
+        assert kinds(result) == ["request_leak"]
+        v = result.sanitizer.violations[0]
+        assert v.rank == 1 and v.data["kind_"] == "recv"
+
+
+class TestMemoryTripwires:
+    def test_oob_access_recorded_before_segfault(self):
+        """The tripwire fires even though the access raises, so the
+        evidence survives the simulated crash."""
+        san = Sanitizer()
+        mem = Memory(rank=3, size=64, sanitizer=san)
+        seg = mem.alloc(16)
+        with pytest.raises(SegmentationFault):
+            mem.read(seg.addr, 4096)
+        assert [v.kind for v in san.violations] == ["oob_access"]
+        assert san.violations[0].rank == 3
+
+    def test_buffer_overlap_succeeds_but_records(self):
+        """An in-arena write crossing into the neighbouring allocation
+        keeps heap-smash semantics (it succeeds) and is recorded."""
+        san = Sanitizer()
+        mem = Memory(rank=0, size=256, sanitizer=san)
+        a = mem.alloc(8, "a")
+        b = mem.alloc(8, "b")
+        mem.write(a.addr, bytes(range(24)))  # 8 own + smash into b
+        assert [v.kind for v in san.violations] == ["buffer_overlap"]
+        assert mem.read(b.addr, 1) != b"\x00"  # the smash really landed
+
+
+class TestSizeMismatch:
+    def test_short_recv_and_indivisible_payload(self):
+        """Root broadcasts 3 INTs (12 bytes); a non-root posted 2
+        DOUBLEs (16 bytes).  12 < 16 -> short_recv, and 12 % 8 != 0 ->
+        size_indivisible: both tripwires fire on the receiver."""
+
+        def app(ctx):
+            if ctx.rank == 0:
+                buf = ctx.alloc(3, ctx.INT)
+                buf.view[:] = [1, 2, 3]
+                yield from ctx.Bcast(buf.addr, 3, ctx.INT, 0, ctx.WORLD)
+            else:
+                buf = ctx.alloc(2, ctx.DOUBLE)
+                yield from ctx.Bcast(buf.addr, 2, ctx.DOUBLE, 0, ctx.WORLD)
+            return None
+
+        result = run_app(app, 2, sanitize=True)
+        assert kinds(result) == ["short_recv", "size_indivisible"]
+        assert all(v.rank == 1 for v in result.sanitizer.violations)
+
+
+class TestStrictMode:
+    def test_strict_raises_at_first_finding(self):
+        with pytest.raises(SanitizerViolation, match="unmatched_message"):
+            run_app(orphan_send_app, 2, sanitize=Sanitizer(strict=True))
+
+    def test_violation_is_not_an_application_response(self):
+        """SanitizerViolation must not be classifiable as one of the
+        paper's outcomes — it derives from AssertionError, not
+        SimMPIError."""
+        from repro.simmpi.errors import SimMPIError
+
+        assert not issubclass(SanitizerViolation, SimMPIError)
+
+
+class TestSweep:
+    def test_every_registered_app_is_clean(self):
+        """The false-positive contract: all golden workloads, sanitizers
+        armed, zero findings."""
+        results = sanitize_sweep()
+        assert len(results) >= 6
+        for entry in results:
+            assert entry.ok, entry.describe()
+            assert entry.steps > 0
+
+    def test_by_kind_and_describe(self):
+        san = Sanitizer()
+        san.record("oob_access", 0, addr=1)
+        san.record("oob_access", 1, addr=2)
+        san.record("short_recv", 2, got=4, expected=8)
+        assert san.by_kind() == {"oob_access": 2, "short_recv": 1}
+        assert len(san) == 3
+        assert "3 violation(s)" in san.describe()
+        assert all(k in VIOLATION_KINDS for k in san.by_kind())
