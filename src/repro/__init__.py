@@ -9,13 +9,16 @@ Public entry points:
 * :mod:`repro.profiling`, :mod:`repro.injection`, :mod:`repro.pruning`,
   :mod:`repro.ml`, :mod:`repro.analysis` — the component layers;
 * :mod:`repro.exec` — the parallel, resumable campaign engine;
-* :mod:`repro.obs` — tracing, metrics, and failure forensics.
+* :mod:`repro.obs` — tracing, metrics, forensics, progress telemetry;
+* :mod:`repro.store` — the SQLite campaign store behind ``--db``;
+* :mod:`repro.report` — the static HTML campaign report builder.
 """
 
 __version__ = "1.0.0"
 
 from . import analysis, apps, injection, ml, obs, profiling, pruning, simmpi
 from . import exec as exec_  # noqa: F401 - also importable as repro.exec
+from . import report, store
 from .fastfit import FastFIT, FastFITReport, PruningReport
 
 __all__ = [
@@ -29,6 +32,8 @@ __all__ = [
     "obs",
     "profiling",
     "pruning",
+    "report",
     "simmpi",
+    "store",
     "__version__",
 ]

@@ -6,10 +6,14 @@ Usage (``python -m repro`` or the ``fastfit`` entry point)::
     fastfit profile  --app lammps --problem-class T
     fastfit prune    --app lu     --problem-class S
     fastfit campaign --app mg     --tests 20 --policy buffer
+    fastfit run      --db campaigns.sqlite --tests 20
     fastfit learn    --app lammps --threshold 0.65
     fastfit study    --app lammps --threshold 0.65
     fastfit trace    --app lu     --find-outcome INF_LOOP
     fastfit stats    --app is     --tests 5 --max-points 8
+    fastfit stats    --db campaigns.sqlite
+    fastfit report   --db campaigns.sqlite --out report/
+    fastfit migrate  --checkpoint-dir ck/ --db campaigns.sqlite
 
 Every subcommand prints ASCII tables in the style of the paper's
 evaluation section; ``trace --json`` and ``stats --json`` emit
@@ -36,6 +40,7 @@ from .analysis import (
 from .apps import APPLICATIONS, make_app
 from .exec.checkpoint import CheckpointMismatch
 from .fastfit import FastFIT
+from .store import CampaignStoreError, MigrationError
 from .injection.campaign import Campaign
 from .injection.outcome import OUTCOME_ORDER, Outcome
 from .injection.space import FaultSpec
@@ -49,8 +54,12 @@ from .obs import (
 )
 
 
-def _add_app_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--app", required=True, choices=sorted(APPLICATIONS))
+def _add_app_args(
+    p: argparse.ArgumentParser, required: bool = True, default: str | None = None
+) -> None:
+    p.add_argument(
+        "--app", required=required, default=default, choices=sorted(APPLICATIONS)
+    )
     p.add_argument("--problem-class", default="T", choices=("T", "S", "A"))
     p.add_argument("--seed", type=int, default=0)
 
@@ -74,8 +83,25 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         "can be resumed",
     )
     p.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="SQLite campaign database: persists completed units (resumable "
+        "like --checkpoint-dir), queryable per-test rows, and progress "
+        "telemetry; feeds 'fastfit report' and 'fastfit stats --db'",
+    )
+    p.add_argument(
         "--resume", action="store_true",
-        help="resume a matching interrupted campaign from --checkpoint-dir",
+        help="resume a matching interrupted campaign from --checkpoint-dir "
+        "or --db",
+    )
+    p.add_argument(
+        "--progress-jsonl", default=None, metavar="PATH",
+        help="append live progress snapshots (tests/sec, outcome histogram, "
+        "worker health, ETA) as JSON lines to this file",
+    )
+    p.add_argument(
+        "--progress-every", type=int, default=1, metavar="N",
+        help="emit progress (callbacks and telemetry snapshots) at most "
+        "every N completed work units (default 1)",
     )
     p.add_argument(
         "--unit-timeout", type=float, default=None, metavar="SECONDS",
@@ -95,6 +121,11 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
 
 
 def _tool(args: argparse.Namespace) -> FastFIT:
+    sinks = []
+    if getattr(args, "progress_jsonl", None):
+        from .obs.progress import JsonlProgressSink
+
+        sinks.append(JsonlProgressSink(args.progress_jsonl))
     return FastFIT(
         make_app(args.app, args.problem_class),
         seed=args.seed,
@@ -102,10 +133,13 @@ def _tool(args: argparse.Namespace) -> FastFIT:
         param_policy=getattr(args, "policy", "buffer"),
         jobs=getattr(args, "jobs", 1),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        db_path=getattr(args, "db", None),
         resume=getattr(args, "resume", False),
         unit_timeout=getattr(args, "unit_timeout", None),
         max_retries=getattr(args, "max_retries", 2),
         quarantine=getattr(args, "quarantine", True),
+        progress_sinks=sinks,
+        progress_every=getattr(args, "progress_every", 1),
     )
 
 
@@ -317,8 +351,115 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Build the static HTML report tree from a campaign database."""
+    from .report import build_report
+
+    index = build_report(args.db, args.out, digest=args.digest)
+    print(f"report written to {index}")
+    return 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    """Convert a pickle checkpoint directory into the SQLite schema."""
+    from .store import migrate_checkpoint
+
+    summary = migrate_checkpoint(
+        args.checkpoint_dir, args.db, overwrite=args.overwrite
+    )
+    print(
+        f"migrated campaign {summary['digest'][:12]} into {args.db}: "
+        f"{summary['units']} units, {summary['tests']} tests, "
+        f"{summary['quarantined']} quarantined, "
+        f"{'complete' if summary['complete'] else 'incomplete'}"
+    )
+    return 0
+
+
+def _stats_from_db(args: argparse.Namespace) -> int:
+    """The ``stats --db`` path: recompute aggregates from the store."""
+    from .store import CampaignDB
+
+    if args.db is None:
+        print("stats requires --app (live run) or --db (stored campaign)",
+              file=sys.stderr)
+        return 2
+    with CampaignDB(args.db) as db:
+        c = db.campaign(args.digest)
+        if c is None:
+            what = f"digest {args.digest!r}" if args.digest else "campaigns"
+            print(f"error: no {what} in {args.db}", file=sys.stderr)
+            return 2
+        hist = db.outcome_histogram(c["id"])
+        total = sum(hist.values())
+        n_quarantined = len(db.quarantine_records(c["id"]))
+        metrics = db.metrics_snapshot(c["id"], "final")
+
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "campaign": {
+                            "digest": c["digest"],
+                            "app": c["app"],
+                            "n_points": c["n_points"],
+                            "tests_per_point": c["tests_per_point"],
+                            "param_policy": c["param_policy"],
+                            "seed": c["seed"],
+                            "complete": bool(c["complete"]),
+                            "recorded_tests": total,
+                            "quarantined_units": n_quarantined,
+                        },
+                        "outcomes": hist,
+                        "metrics": metrics,
+                    },
+                    sort_keys=True,
+                )
+            )
+            return 0
+
+        # Config fields are unknown ("?") for campaigns migrated from
+        # pickle checkpoints, whose headers carry only the digest.
+        cfg = {k: "?" if c[k] is None else c[k]
+               for k in ("app", "n_points", "tests_per_point", "param_policy", "seed")}
+        print(
+            f"campaign {c['digest'][:12]}: {cfg['app']}, "
+            f"{cfg['n_points']} points × {cfg['tests_per_point']} tests "
+            f"(policy={cfg['param_policy']}, seed={cfg['seed']}), "
+            f"{'complete' if c['complete'] else 'INCOMPLETE'}"
+        )
+        print(f"recorded tests: {total}, quarantined units: {n_quarantined}")
+        print()
+        order = [o.name for o in OUTCOME_ORDER] + [Outcome.TOOL_ERROR.name]
+        fractions = {
+            name: hist.get(name, 0) / total if total else 0.0
+            for name in order
+            if name in hist or name in {o.name for o in OUTCOME_ORDER}
+        }
+        print(render_bars(fractions, title="response types (stored)"))
+        if metrics:
+            timers = metrics.get("timers", {})
+            rows = [
+                [name, t["count"], f"{t['total']:.3f}", f"{t['mean']:.3f}"]
+                for name, t in sorted(timers.items())
+            ]
+            if rows:
+                print()
+                print(
+                    render_table(
+                        ["phase", "count", "total_s", "mean_s"],
+                        rows,
+                        title="phase timings (stored)",
+                    )
+                )
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Run a campaign and report the collected metrics."""
+    """Run a campaign and report the collected metrics — or, with
+    ``--db`` and no live run, recompute them from a stored campaign."""
+    if args.app is None:
+        return _stats_from_db(args)
     ff = _tool(args)
     points = ff.prune().representative_points
     if args.max_points is not None:
@@ -546,6 +687,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_args(p)
     p.set_defaults(fn=cmd_campaign)
 
+    # 'run' = 'campaign' with a default app, the natural spelling for
+    # store-backed runs: fastfit run --db campaigns.sqlite
+    p = sub.add_parser(
+        "run", help="alias for 'campaign' (default --app lu)", parents=[verbosity]
+    )
+    _add_app_args(p, required=False, default="lu")
+    _add_campaign_args(p)
+    p.set_defaults(fn=cmd_campaign)
+
     p = sub.add_parser(
         "learn", help="ML-driven campaign (inject → learn → predict)", parents=[verbosity]
     )
@@ -636,13 +786,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser(
-        "stats", help="campaign with metrics: phase timings, tests/sec, outcomes",
+        "stats", help="campaign with metrics: phase timings, tests/sec, outcomes "
+        "(or recompute them from a stored campaign with --db)",
         parents=[verbosity],
     )
-    _add_app_args(p)
+    _add_app_args(p, required=False)
     _add_campaign_args(p)
+    p.add_argument(
+        "--digest", default=None, metavar="HEX",
+        help="campaign digest (or prefix) to read with --db "
+        "(default: most recent)",
+    )
     p.add_argument("--json", action="store_true", help="dump the metrics registry as JSON")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "report", help="build the static HTML report tree from a campaign database",
+        parents=[verbosity],
+    )
+    p.add_argument("--db", required=True, metavar="PATH", help="campaign database")
+    p.add_argument("--out", default="report", metavar="DIR", help="output directory")
+    p.add_argument(
+        "--digest", default=None, metavar="HEX",
+        help="campaign digest (or prefix) to focus index.html on "
+        "(default: most recent)",
+    )
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "migrate", help="convert a pickle checkpoint directory into the SQLite schema",
+        parents=[verbosity],
+    )
+    p.add_argument(
+        "--checkpoint-dir", required=True, metavar="DIR",
+        help="pickle checkpoint directory to convert",
+    )
+    p.add_argument("--db", required=True, metavar="PATH", help="target campaign database")
+    p.add_argument(
+        "--overwrite", action="store_true",
+        help="replace an already-migrated campaign with the same digest",
+    )
+    p.set_defaults(fn=cmd_migrate)
 
     return parser
 
@@ -650,8 +834,17 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(verbose=getattr(args, "verbose", 0), quiet=getattr(args, "quiet", False))
-    if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
-        print("--resume requires --checkpoint-dir", file=sys.stderr)
+    if getattr(args, "resume", False) and not (
+        getattr(args, "checkpoint_dir", None) or getattr(args, "db", None)
+    ):
+        print("--resume requires --checkpoint-dir or --db", file=sys.stderr)
+        return 2
+    if (
+        args.command != "migrate"
+        and getattr(args, "checkpoint_dir", None)
+        and getattr(args, "db", None)
+    ):
+        print("--checkpoint-dir and --db are mutually exclusive", file=sys.stderr)
         return 2
     jobs = getattr(args, "jobs", 1)
     if jobs < 1:
@@ -665,11 +858,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     if max_retries < 0:
         print(f"--max-retries must be >= 0, got {max_retries}", file=sys.stderr)
         return 2
+    progress_every = getattr(args, "progress_every", 1)
+    if progress_every < 1:
+        print(f"--progress-every must be >= 1, got {progress_every}", file=sys.stderr)
+        return 2
     try:
         return args.fn(args)
-    except CheckpointMismatch as exc:
-        # A stale/foreign checkpoint is an operator error, not a crash:
-        # one line, exit 2, no traceback.
+    except (CheckpointMismatch, CampaignStoreError, MigrationError) as exc:
+        # A stale/foreign checkpoint, locked database, or unconvertible
+        # directory is an operator error, not a crash: one line, exit 2,
+        # no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -203,6 +203,24 @@ class CheckpointStore:
             os.close(dir_fd)
         self._since_manifest = 0
 
+    # -- store extensions (no-ops here) ---------------------------------
+    #
+    # The SQLite sibling (:class:`repro.store.DBCheckpointStore`) keeps
+    # richer, queryable state than the pickle stream can express.  The
+    # campaign engine drives both through one interface, so the extra
+    # hooks exist here as deliberate no-ops: the stream records completed
+    # units only, and the manifest already names quarantined unit ids.
+
+    def record_quarantine(self, unit_id: str, reason: str) -> None:
+        """No-op: quarantine reasons are not persisted in the pickle
+        format (the manifest lists the unit ids)."""
+
+    def record_point_tallies(self, tallies: list[tuple]) -> None:
+        """No-op: per-point tallies are recomputed from the stream."""
+
+    def record_metrics(self, label: str, registry: MetricsRegistry) -> None:
+        """No-op: per-unit metrics snapshots already live in the stream."""
+
     @property
     def closed(self) -> bool:
         """True once :meth:`close` ran (or before :meth:`load`)."""

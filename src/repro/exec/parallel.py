@@ -28,12 +28,22 @@ are recorded by the parent at assembly time so the merged registry
 matches what a serial campaign would have recorded.
 
 With a checkpoint directory attached, every successfully completed unit
-is persisted through :class:`~repro.exec.checkpoint.CheckpointStore`.
-Quarantined units are deliberately *not* persisted: a later
-``resume=True`` run retries them from scratch — self-healing across
-restarts when the fault was environmental.  ``KeyboardInterrupt`` tears
-the pool down, flushes the checkpoint manifest, and re-raises, so an
-interrupted campaign is always resumable.
+is persisted through :class:`~repro.exec.checkpoint.CheckpointStore`;
+with ``db_path`` set, through the SQLite-backed
+:class:`~repro.store.DBCheckpointStore` instead (same lifecycle, same
+torn-tail tolerance, plus queryable per-test rows, per-point tallies,
+and progress telemetry).  Quarantined units are deliberately *not*
+persisted: a later ``resume=True`` run retries them from scratch —
+self-healing across restarts when the fault was environmental.
+``KeyboardInterrupt`` tears the pool down, flushes the checkpoint
+manifest, and re-raises, so an interrupted campaign is always
+resumable.
+
+Progress telemetry: when any :class:`~repro.obs.progress.ProgressSink`
+is attached (explicitly, or implicitly by the campaign database), the
+supervisor loop feeds a :class:`~repro.obs.progress.ProgressTracker`
+that emits periodic snapshots — tests/sec, outcome histogram, worker
+health, ETA — alongside the classic ``progress(done, total)`` callback.
 """
 
 from __future__ import annotations
@@ -43,12 +53,14 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from .. import __version__
 from ..apps.base import Application
 from ..injection.outcome import Outcome
 from ..injection.runner import TestResult
 from ..injection.space import FaultSpec, InjectionPoint
 from ..injection.targets import pick_target
 from ..obs.metrics import MetricsRegistry
+from ..obs.progress import ProgressTracker
 from ..profiling.profiler import ApplicationProfile
 from .checkpoint import CheckpointStore, campaign_digest
 from .sharding import WorkUnit, default_unit_tests, make_units, units_of_point
@@ -80,6 +92,7 @@ class ParallelCampaign:
         progress: Callable[[int, int], None] | None = None,
         progress_every: int = 1,
         checkpoint_dir=None,
+        db_path=None,
         resume: bool = False,
         checkpoint_every: int = 1,
         algorithms: dict[str, str] | None = None,
@@ -88,9 +101,12 @@ class ParallelCampaign:
         max_retries: int = 2,
         quarantine: bool = True,
         tracer: "Tracer | None" = None,
+        progress_sinks: Sequence | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if checkpoint_dir is not None and db_path is not None:
+            raise ValueError("checkpoint_dir and db_path are mutually exclusive")
         self.app = app
         self.profile = profile
         self.tests_per_point = tests_per_point
@@ -101,8 +117,12 @@ class ParallelCampaign:
         self.progress = progress
         self.progress_every = max(1, progress_every)
         self.checkpoint_dir = checkpoint_dir
+        self.db_path = db_path
         self.resume = resume
         self.checkpoint_every = checkpoint_every
+        #: Extra :class:`~repro.obs.progress.ProgressSink` consumers fed
+        #: by the supervisor loop (the campaign database adds its own).
+        self.progress_sinks = list(progress_sinks or [])
         self.algorithms = algorithms
         self.metrics = metrics
         self.supervisor_config = SupervisorConfig(
@@ -127,6 +147,7 @@ class ParallelCampaign:
             progress=campaign.progress,
             progress_every=campaign.progress_every,
             checkpoint_dir=campaign.checkpoint_dir,
+            db_path=campaign.db_path,
             resume=campaign.resume,
             algorithms=campaign.algorithms,
             metrics=campaign.metrics,
@@ -134,6 +155,7 @@ class ParallelCampaign:
             max_retries=campaign.max_retries,
             quarantine=campaign.quarantine,
             tracer=campaign.tracer,
+            progress_sinks=campaign.progress_sinks,
         )
 
     # -- quarantine synthesis ------------------------------------------
@@ -180,9 +202,9 @@ class ParallelCampaign:
         total_tests = len(points) * self.tests_per_point
         self.quarantined = []
 
-        store: CheckpointStore | None = None
+        store = None
         results: dict[str, list[TestResult]] = {}
-        if self.checkpoint_dir is not None:
+        if self.checkpoint_dir is not None or self.db_path is not None:
             digest = campaign_digest(
                 self.app,
                 self.seed,
@@ -192,9 +214,30 @@ class ParallelCampaign:
                 points,
                 algorithms=self.algorithms,
             )
-            store = CheckpointStore(
-                self.checkpoint_dir, digest, flush_every=self.checkpoint_every
-            )
+            if self.db_path is not None:
+                # Lazy import: repro.store depends on repro.exec.sharding.
+                from ..store import DBCheckpointStore
+
+                store = DBCheckpointStore(
+                    self.db_path,
+                    digest,
+                    campaign_info=dict(
+                        app=self.app.name,
+                        nranks=self.app.nranks,
+                        seed=self.seed,
+                        tests_per_point=self.tests_per_point,
+                        param_policy=self.param_policy,
+                        unit_tests=unit_tests,
+                        algorithms=self.algorithms,
+                        code_version=__version__,
+                        n_points=len(points),
+                        total_units=len(units),
+                    ),
+                )
+            else:
+                store = CheckpointStore(
+                    self.checkpoint_dir, digest, flush_every=self.checkpoint_every
+                )
             for unit_id, (tests, registry) in store.load(resume=self.resume).items():
                 results[unit_id] = tests
                 if self.metrics is not None and registry is not None:
@@ -207,6 +250,23 @@ class ParallelCampaign:
         done_tests = sum(len(results[uid]) for uid in results if uid in known)
         done_units = 0
         last_reported = -1
+
+        sinks = list(self.progress_sinks)
+        if store is not None and self.db_path is not None:
+            sinks.append(store.progress_sink())
+        tracker: ProgressTracker | None = None
+        if sinks:
+            tracker = ProgressTracker(
+                total_tests,
+                len(units),
+                sinks=sinks,
+                every_units=self.progress_every,
+                workers=self.jobs,
+                metrics=self.metrics,
+            )
+            for unit_id, tests in results.items():
+                if unit_id in known:
+                    tracker.seed(tests)
 
         def report(force: bool = False) -> None:
             nonlocal last_reported
@@ -229,6 +289,8 @@ class ParallelCampaign:
                 # Counted here, not in the worker snapshot, so replaying a
                 # checkpointed unit never inflates the executed-unit count.
                 self.metrics.counter("exec.units").inc()
+            if tracker is not None:
+                tracker.unit_done(tests)
             report()
 
         def give_up(unit: WorkUnit, point: InjectionPoint, reason: str) -> None:
@@ -244,11 +306,15 @@ class ParallelCampaign:
             self.quarantined.append(unit.unit_id)
             done_tests += len(tests)
             done_units += 1
+            if store is not None:
+                store.record_quarantine(unit.unit_id, reason)
             if self.metrics is not None:
                 self.metrics.counter("campaign.tests").inc(len(tests))
                 self.metrics.counter(
                     f"campaign.outcome.{Outcome.TOOL_ERROR.name}"
                 ).inc(len(tests))
+            if tracker is not None:
+                tracker.unit_quarantined(tests)
             report()
 
         try:
@@ -285,37 +351,53 @@ class ParallelCampaign:
                         # Tears the workers down on *any* exit from the
                         # consuming loop, KeyboardInterrupt included.
                         events.close()
-        except KeyboardInterrupt:
-            # Graceful interrupt: the pool is already down (generator
-            # close above); flush a resumable manifest before re-raising.
-            if store is not None:
+        except BaseException:
+            # Interrupted or failed: the pool is already down (generator
+            # close above); emit the final telemetry snapshot and flush a
+            # resumable manifest before propagating.
+            if tracker is not None:
+                tracker.finish()
+            if store is not None and not store.closed:
                 store.write_manifest(
                     total_units=len(units), complete=False, quarantined=self.quarantined
                 )
                 store.close()
             raise
-        finally:
-            if store is not None and not store.closed:
-                finished = all(u.unit_id in store.completed for u in units)
-                store.write_manifest(
-                    total_units=len(units),
-                    complete=finished,
-                    quarantined=self.quarantined,
-                )
-                store.close()
 
         report(force=True)
 
         # -- deterministic assembly: point order, then test order ------
         result = CampaignResult(self.app.name, self.tests_per_point, self.param_policy)
         grouped = units_of_point(units)
+        tallies: list[tuple] = []
         for i, point in enumerate(points):
             pr = PointResult(point)
             for unit in grouped.get(i, ()):
                 for test in results[unit.unit_id]:
                     pr.add(test)
             result.points[point] = pr
+            for outcome, n in sorted(
+                pr._synced_counts().items(), key=lambda kv: kv[0].name
+            ):
+                tallies.append(
+                    (i, point.rank, point.collective, point.site,
+                     point.invocation, outcome.name, n)
+                )
             if self.metrics is not None:
                 self.metrics.counter("campaign.points").inc()
                 self.metrics.histogram("campaign.point_error_rate").observe(pr.error_rate)
+
+        if tracker is not None:
+            tracker.finish()
+        if store is not None and not store.closed:
+            store.record_point_tallies(tallies)
+            if self.metrics is not None:
+                store.record_metrics("final", self.metrics)
+            finished = all(u.unit_id in store.completed for u in units)
+            store.write_manifest(
+                total_units=len(units),
+                complete=finished,
+                quarantined=self.quarantined,
+            )
+            store.close()
         return result

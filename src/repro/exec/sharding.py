@@ -10,7 +10,10 @@ keys for the checkpoint store.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+
+_UNIT_ID_RE = re.compile(r"p(\d+):t(\d+)-(\d+)\Z")
 
 
 @dataclass(frozen=True, order=True)
@@ -30,6 +33,15 @@ class WorkUnit:
     def unit_id(self) -> str:
         """Stable string key used by the checkpoint store."""
         return f"p{self.point_index}:t{self.test_start}-{self.test_stop}"
+
+    @classmethod
+    def from_unit_id(cls, unit_id: str) -> "WorkUnit":
+        """Invert :attr:`unit_id` — the key format is bidirectional so
+        stores can recover a unit's coordinates from its string key."""
+        m = _UNIT_ID_RE.match(unit_id)
+        if m is None:
+            raise ValueError(f"not a work-unit id: {unit_id!r}")
+        return cls(int(m.group(1)), int(m.group(2)), int(m.group(3)))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.unit_id

@@ -122,11 +122,14 @@ class FastFIT:
         metrics: MetricsRegistry | None = None,
         jobs: int = 1,
         checkpoint_dir=None,
+        db_path=None,
         resume: bool = False,
         unit_timeout: float | None = None,
         max_retries: int = 2,
         quarantine: bool = True,
         tracer=None,
+        progress_sinks=None,
+        progress_every: int = 1,
     ):
         self.app = app
         self.seed = seed
@@ -142,7 +145,14 @@ class FastFIT:
         #: results (see :mod:`repro.exec`).
         self.jobs = jobs
         self.checkpoint_dir = checkpoint_dir
+        #: SQLite campaign database (``--db``): persists completed units,
+        #: queryable per-test rows, and progress telemetry.
+        self.db_path = db_path
         self.resume = resume
+        #: :class:`~repro.obs.progress.ProgressSink` consumers fed live
+        #: campaign telemetry.
+        self.progress_sinks = list(progress_sinks or [])
+        self.progress_every = progress_every
         #: Supervision policy for parallel campaigns (see
         #: :class:`~repro.exec.supervisor.SupervisorConfig`).
         self.unit_timeout = unit_timeout
@@ -205,11 +215,14 @@ class FastFIT:
             metrics=self.metrics,
             jobs=self.jobs,
             checkpoint_dir=self.checkpoint_dir,
+            db_path=self.db_path,
             resume=self.resume,
             unit_timeout=self.unit_timeout,
             max_retries=self.max_retries,
             quarantine=self.quarantine,
             tracer=self.tracer,
+            progress_sinks=self.progress_sinks,
+            progress_every=self.progress_every,
         )
         logger.info(
             "campaign: %d points x %d tests (%d jobs)",

@@ -218,6 +218,15 @@ class Campaign:
     checkpoint_dir:
         Directory for periodic campaign checkpoints; with ``resume=True``
         a matching interrupted campaign restarts where it left off.
+    db_path:
+        SQLite campaign database (mutually exclusive with
+        ``checkpoint_dir``): completed units are persisted through
+        :class:`repro.store.DBCheckpointStore` — same resume semantics,
+        plus queryable per-test rows and progress telemetry.
+    progress_sinks:
+        :class:`~repro.obs.progress.ProgressSink` consumers receiving
+        periodic :class:`~repro.obs.progress.ProgressSnapshot` telemetry
+        (tests/sec, outcome histogram, worker health, ETA).
     unit_timeout:
         Wall-clock seconds a parallel work unit may run per dispatch
         attempt before its worker is declared wedged and killed
@@ -244,11 +253,13 @@ class Campaign:
         jobs: int = 1,
         progress_every: int = 1,
         checkpoint_dir=None,
+        db_path=None,
         resume: bool = False,
         unit_timeout: float | None = None,
         max_retries: int = 2,
         quarantine: bool = True,
         tracer=None,
+        progress_sinks=None,
     ):
         self.app = app
         self.profile = profile
@@ -269,10 +280,16 @@ class Campaign:
             raise ValueError(f"unit_timeout must be > 0 seconds, got {unit_timeout}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if checkpoint_dir is not None and db_path is not None:
+            raise ValueError("checkpoint_dir and db_path are mutually exclusive")
         self.jobs = jobs
         self.progress_every = progress_every
         self.checkpoint_dir = checkpoint_dir
+        self.db_path = db_path
         self.resume = resume
+        #: Extra :class:`~repro.obs.progress.ProgressSink` consumers
+        #: receiving periodic telemetry snapshots.
+        self.progress_sinks = list(progress_sinks or [])
         self.unit_timeout = unit_timeout
         self.max_retries = max_retries
         self.quarantine = quarantine
@@ -305,21 +322,38 @@ class Campaign:
     def run(self, points: Sequence[InjectionPoint] | Iterable[InjectionPoint]) -> CampaignResult:
         """Run the campaign over ``points`` (kept in the given order)."""
         points = list(points)
-        if self.jobs != 1 or self.checkpoint_dir is not None:
+        if self.jobs != 1 or self.checkpoint_dir is not None or self.db_path is not None:
             from ..exec.parallel import ParallelCampaign
 
             return ParallelCampaign.from_campaign(self).run(points)
+        tracker = None
+        if self.progress_sinks:
+            from ..obs.progress import ProgressTracker
+
+            tracker = ProgressTracker(
+                len(points) * self.tests_per_point,
+                len(points),
+                sinks=self.progress_sinks,
+                every_units=self.progress_every,
+                metrics=self.metrics,
+            )
         result = CampaignResult(self.app.name, self.tests_per_point, self.param_policy)
         n = len(points)
-        for i, point in enumerate(points):
-            if self.metrics is not None:
-                with self.metrics.time("campaign.point_s"):
+        try:
+            for i, point in enumerate(points):
+                if self.metrics is not None:
+                    with self.metrics.time("campaign.point_s"):
+                        result.points[point] = self.run_point(point, point_index=i)
+                    self.metrics.counter("campaign.points").inc()
+                else:
                     result.points[point] = self.run_point(point, point_index=i)
-                self.metrics.counter("campaign.points").inc()
-            else:
-                result.points[point] = self.run_point(point, point_index=i)
-            if self.progress is not None and (
-                (i + 1) % self.progress_every == 0 or i + 1 == n
-            ):
-                self.progress(i + 1, n)
+                if tracker is not None:
+                    tracker.unit_done(result.points[point].tests)
+                if self.progress is not None and (
+                    (i + 1) % self.progress_every == 0 or i + 1 == n
+                ):
+                    self.progress(i + 1, n)
+        finally:
+            if tracker is not None:
+                tracker.finish()
         return result

@@ -10,7 +10,10 @@ Three concerns, one subsystem:
   timers, and histograms recorded by the injection engine, the pruners,
   and the facade, exportable as JSON;
 * **forensics** (:mod:`.forensics`) — wait-for graphs for deadlocks and
-  one-line fault descriptions that populate ``TestResult.detail``.
+  one-line fault descriptions that populate ``TestResult.detail``;
+* **progress** (:mod:`.progress`) — live campaign telemetry: periodic
+  :class:`ProgressSnapshot` records (tests/sec, outcome histogram,
+  worker health, ETA) fanned out to :class:`ProgressSink` consumers.
 
 Plus :mod:`.logconf`, the CLI's leveled-logging setup.
 """
@@ -25,6 +28,7 @@ from .forensics import (
 )
 from .logconf import setup_logging, verbosity_level
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .progress import JsonlProgressSink, ProgressSink, ProgressSnapshot, ProgressTracker
 
 __all__ = [
     "Counter",
@@ -32,7 +36,11 @@ __all__ = [
     "EVENT_KINDS",
     "Gauge",
     "Histogram",
+    "JsonlProgressSink",
     "MetricsRegistry",
+    "ProgressSink",
+    "ProgressSnapshot",
+    "ProgressTracker",
     "Timer",
     "TraceEvent",
     "Tracer",

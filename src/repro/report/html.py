@@ -1,0 +1,145 @@
+"""Minimal HTML rendering helpers for the campaign report.
+
+Stdlib-only, no templating engine: the report builder composes pages
+from these small string functions.  Every page is self-contained (CSS
+inlined, charts as inline SVG) so a report directory can be archived,
+attached to CI, or opened from ``file://`` with zero infrastructure.
+"""
+
+from __future__ import annotations
+
+from html import escape as esc
+from typing import Iterable, Sequence
+
+#: One stylesheet for every page, inlined into each document.
+CSS = """
+:root { color-scheme: light; }
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem;
+       padding: 0 1rem; color: #1a1a2e; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #30336b; padding-bottom: .3rem; }
+h2 { font-size: 1.15rem; margin-top: 2rem; border-bottom: 1px solid #ccd;
+     padding-bottom: .2rem; }
+table { border-collapse: collapse; margin: .8rem 0; }
+th, td { border: 1px solid #ccd; padding: .25rem .6rem; text-align: left; }
+th { background: #f0f1fa; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+code, pre { font: 12px/1.45 ui-monospace, monospace; }
+pre { background: #f7f7fc; border: 1px solid #e0e0ee; padding: .6rem;
+      overflow-x: auto; }
+nav a { margin-right: 1rem; }
+.bar { display: inline-block; height: .8em; background: #30336b;
+       vertical-align: baseline; }
+.muted { color: #667; }
+.ok { color: #1b7f3b; } .bad { color: #b3301a; }
+"""
+
+
+def page(title: str, body: str) -> str:
+    """A complete, self-contained HTML document."""
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{esc(title)}</title>\n"
+        f"<style>{CSS}</style>\n"
+        f"</head><body>\n<h1>{esc(title)}</h1>\n{body}\n</body></html>\n"
+    )
+
+
+def section(anchor: str, title: str, body: str) -> str:
+    """An ``<h2 id=...>`` section — the anchors CI greps for."""
+    return f'<section id="{esc(anchor)}">\n<h2>{esc(title)}</h2>\n{body}\n</section>\n'
+
+
+def nav(anchors: Sequence[tuple[str, str]]) -> str:
+    links = " ".join(f'<a href="#{esc(a)}">{esc(t)}</a>' for a, t in anchors)
+    return f"<nav>{links}</nav>\n"
+
+
+def table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    numeric: Sequence[int] = (),
+) -> str:
+    """A plain table; column indexes in ``numeric`` get right alignment.
+
+    Cells are escaped unless already marked raw via :class:`Raw`.
+    """
+    head = "".join(f"<th>{esc(h)}</th>" for h in headers)
+    body_rows = []
+    for row in rows:
+        cells = []
+        for i, cell in enumerate(row):
+            cls = ' class="num"' if i in numeric else ""
+            content = cell.text if isinstance(cell, Raw) else esc(str(cell))
+            cells.append(f"<td{cls}>{content}</td>")
+        body_rows.append("<tr>" + "".join(cells) + "</tr>")
+    return (
+        f"<table><thead><tr>{head}</tr></thead>\n<tbody>\n"
+        + "\n".join(body_rows)
+        + "\n</tbody></table>\n"
+    )
+
+
+class Raw:
+    """Marks a table cell as pre-rendered HTML (heat cells, bars)."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        self.text = text
+
+
+def heat_cell(fraction: float, label: str | None = None) -> Raw:
+    """A table cell colored white → red by ``fraction`` ∈ [0, 1]."""
+    f = min(1.0, max(0.0, fraction))
+    # White (low) to saturated red (high); text flips for contrast.
+    light = int(255 - 130 * f)
+    bg = f"rgb(255,{light},{light})"
+    text = label if label is not None else f"{fraction:.2f}"
+    return Raw(
+        f'<span style="display:block;background:{bg};padding:0 .3em;'
+        f'text-align:right">{esc(text)}</span>'
+    )
+
+
+def fraction_bar(fraction: float, width_px: int = 120) -> Raw:
+    """A labelled horizontal bar for level-distribution tables."""
+    f = min(1.0, max(0.0, fraction))
+    return Raw(
+        f'<span class="bar" style="width:{f * width_px:.0f}px"></span> '
+        f"{100 * f:.1f}%"
+    )
+
+
+def svg_timeline(
+    series: Sequence[tuple[float, float]],
+    *,
+    width: int = 640,
+    height: int = 160,
+    y_max: float | None = None,
+    label: str = "",
+) -> str:
+    """An inline SVG polyline of ``(x, y)`` samples (campaign timeline)."""
+    if not series:
+        return '<p class="muted">no telemetry recorded</p>'
+    xs = [p[0] for p in series]
+    ys = [p[1] for p in series]
+    x_max = max(xs) or 1.0
+    top = y_max if y_max is not None else (max(ys) or 1.0)
+    pad = 6
+    pts = " ".join(
+        f"{pad + (width - 2 * pad) * x / x_max:.1f},"
+        f"{height - pad - (height - 2 * pad) * min(y, top) / top:.1f}"
+        for x, y in series
+    )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        f'role="img" aria-label="{esc(label)}">\n'
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="#f7f7fc" '
+        f'stroke="#ccd"/>\n'
+        f'<polyline points="{pts}" fill="none" stroke="#30336b" '
+        f'stroke-width="1.5"/>\n'
+        f'<text x="{pad}" y="{pad + 10}" font-size="10" fill="#667">'
+        f"{esc(label)} (max {top:g})</text>\n"
+        "</svg>\n"
+    )

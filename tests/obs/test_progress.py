@@ -1,0 +1,162 @@
+"""Progress telemetry: snapshots, sinks, and the tracker's cadence."""
+
+import io
+import json
+
+import pytest
+
+from repro.injection import FaultSpec, InjectionPoint, Outcome
+from repro.injection import TestResult as InjectionTestResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import (
+    JsonlProgressSink,
+    ProgressSink,
+    ProgressSnapshot,
+    ProgressTracker,
+)
+
+
+def make_tests(n=3, outcome=Outcome.SUCCESS):
+    point = InjectionPoint(0, "allreduce", "f.py:1", 0)
+    return [
+        InjectionTestResult(FaultSpec(point, "sendbuf", i), outcome, None)
+        for i in range(n)
+    ]
+
+
+class CapturingSink:
+    def __init__(self):
+        self.snaps = []
+        self.closed = False
+
+    def emit(self, snap):
+        self.snaps.append(snap)
+
+    def close(self):
+        self.closed = True
+
+
+def test_sinks_satisfy_the_protocol():
+    assert isinstance(CapturingSink(), ProgressSink)
+    assert isinstance(JsonlProgressSink(io.StringIO()), ProgressSink)
+
+
+def test_snapshot_json_roundtrip():
+    snap = ProgressSnapshot(
+        seq=1, ts=123.0, elapsed_s=2.5, done_tests=10, total_tests=40,
+        done_units=2, total_units=8, tests_per_sec=4.0, eta_s=7.5,
+        outcomes={"SUCCESS": 9, "INF_LOOP": 1},
+    )
+    data = json.loads(snap.to_json())
+    assert data["done_tests"] == 10
+    assert data["outcomes"] == {"INF_LOOP": 1, "SUCCESS": 9}
+    assert snap.fraction == 0.25
+
+
+def test_tracker_emits_per_unit_and_final():
+    sink = CapturingSink()
+    tracker = ProgressTracker(9, 3, sinks=[sink])
+    tracker.unit_done(make_tests())
+    tracker.unit_done(make_tests())
+    tracker.unit_done(make_tests())
+    tracker.finish()
+    assert [s.seq for s in sink.snaps] == [1, 2, 3]
+    assert sink.snaps[-1].done_tests == 9
+    assert sink.snaps[-1].done_units == 3
+    assert sink.closed
+
+
+def test_tracker_rate_limits_to_every_units():
+    sink = CapturingSink()
+    tracker = ProgressTracker(9, 3, sinks=[sink], every_units=2)
+    tracker.unit_done(make_tests())  # 1: held
+    tracker.unit_done(make_tests())  # 2: emitted
+    tracker.unit_done(make_tests())  # 3: held
+    assert len(sink.snaps) == 1
+    tracker.finish()  # pending unit flushed
+    assert len(sink.snaps) == 2
+    assert sink.snaps[-1].done_units == 3
+
+
+def test_tracker_always_leaves_at_least_one_snapshot():
+    """Even a fully-resumed campaign (zero fresh units) gets a final
+    snapshot, so the report timeline is never empty."""
+    sink = CapturingSink()
+    tracker = ProgressTracker(6, 2, sinks=[sink])
+    tracker.seed(make_tests())
+    tracker.seed(make_tests())
+    tracker.finish()
+    assert len(sink.snaps) == 1
+    assert sink.snaps[0].done_tests == 6
+
+
+def test_seeded_units_count_done_but_not_throughput():
+    sink = CapturingSink()
+    tracker = ProgressTracker(6, 2, sinks=[sink])
+    tracker.seed(make_tests())
+    tracker._start -= 10.0  # pretend 10s elapsed
+    tracker.unit_done(make_tests())
+    snap = sink.snaps[-1]
+    assert snap.done_tests == 6
+    # only the 3 fresh tests enter the rate
+    assert snap.tests_per_sec == pytest.approx(0.3, rel=0.2)
+    assert snap.outcomes == {"SUCCESS": 6}
+
+
+def test_quarantined_units_tracked():
+    sink = CapturingSink()
+    tracker = ProgressTracker(6, 2, sinks=[sink])
+    tracker.unit_done(make_tests())
+    tracker.unit_quarantined(make_tests(outcome=Outcome.TOOL_ERROR))
+    snap = sink.snaps[-1]
+    assert snap.quarantined == 1
+    assert snap.outcomes.get("TOOL_ERROR") == 3
+
+
+def test_tracker_reads_supervision_counters():
+    metrics = MetricsRegistry()
+    metrics.counter("exec.worker_deaths").inc(2)
+    metrics.counter("exec.retries").inc(5)
+    tracker = ProgressTracker(3, 1, metrics=metrics)
+    snap = tracker.snapshot()
+    assert snap.worker_deaths == 2
+    assert snap.retries == 5
+
+
+def test_eta_shrinks_to_none_at_completion():
+    tracker = ProgressTracker(3, 1)
+    tracker._start -= 1.0
+    tracker.unit_done(make_tests())
+    assert tracker.snapshot().eta_s is None
+
+
+def test_jsonl_sink_writes_parseable_lines(tmp_path):
+    path = tmp_path / "prog.jsonl"
+    sink = JsonlProgressSink(path)
+    tracker = ProgressTracker(6, 2, sinks=[sink])
+    tracker.unit_done(make_tests())
+    tracker.unit_done(make_tests())
+    tracker.finish()
+    lines = path.read_text().strip().splitlines()
+    records = [json.loads(ln) for ln in lines]
+    assert [r["seq"] for r in records] == [1, 2]
+    assert records[-1]["done_tests"] == 6
+
+
+def test_jsonl_sink_does_not_close_borrowed_streams():
+    stream = io.StringIO()
+    sink = JsonlProgressSink(stream)
+    sink.emit(
+        ProgressSnapshot(
+            seq=1, ts=0.0, elapsed_s=0.0, done_tests=0, total_tests=1,
+            done_units=0, total_units=1, tests_per_sec=0.0, eta_s=None,
+        )
+    )
+    sink.close()
+    assert not stream.closed
+    assert json.loads(stream.getvalue())["seq"] == 1
+
+
+def test_bad_every_units_rejected():
+    with pytest.raises(ValueError, match="every_units"):
+        ProgressTracker(1, 1, every_units=0)

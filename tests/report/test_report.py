@@ -1,0 +1,106 @@
+"""HTML report builder: sections, anchors, and content checks."""
+
+import pytest
+
+from repro.injection import Campaign, enumerate_points
+from repro.report import SECTIONS, build_report
+from repro.store import CampaignDB, CampaignStoreError
+
+
+@pytest.fixture(scope="module")
+def campaign_db(tmp_path_factory, lu_app, lu_profile):
+    """A small completed DB-backed campaign (with progress telemetry)."""
+    db_path = tmp_path_factory.mktemp("report") / "c.sqlite"
+    points = enumerate_points(lu_profile)[:5]
+    result = Campaign(
+        lu_app, lu_profile, tests_per_point=5, param_policy="all", seed=17,
+        db_path=db_path,
+    ).run(points)
+    return db_path, result
+
+
+@pytest.fixture(scope="module")
+def report(campaign_db, tmp_path_factory):
+    db_path, result = campaign_db
+    out = tmp_path_factory.mktemp("report_out")
+    index = build_report(db_path, out)
+    return index, index.read_text(), result
+
+
+def test_index_written(report):
+    index, html, _ = report
+    assert index.name == "index.html"
+    assert html.lstrip().startswith("<!DOCTYPE html>")
+
+
+def test_all_section_anchors_present(report):
+    _, html, _ = report
+    for anchor, title in SECTIONS:
+        assert f'id="{anchor}"' in html, f"missing section {anchor}"
+        assert title in html
+
+
+def test_per_campaign_page_written(report, campaign_db):
+    index, _, _ = report
+    pages = list(index.parent.glob("campaign-*.html"))
+    assert len(pages) == 1
+    with CampaignDB(campaign_db[0]) as db:
+        digest = db.campaign()["digest"]
+    assert pages[0].name == f"campaign-{digest[:12]}.html"
+
+
+def test_summary_reflects_campaign_config(report):
+    _, html, result = report
+    assert "lu" in html
+    total = len(result.all_tests())
+    assert str(total) in html
+
+
+def test_heatmap_has_every_point_row(report):
+    _, html, result = report
+    for point in result.points:
+        assert point.collective in html
+    # heat cells carry the white->red inline background
+    assert html.count("rgb(255,") >= len(result.points)
+
+
+def test_outcome_breakdown_lists_outcomes(report):
+    _, html, result = report
+    seen = {t.outcome.name for t in result.all_tests()}
+    for name in seen:
+        assert name in html
+
+
+def test_timeline_present_for_db_backed_run(report):
+    """The DB progress sink fed snapshots, so the timeline has an SVG."""
+    _, html, _ = report
+    assert "<svg" in html
+    assert "tests/sec" in html
+
+
+def test_sensitivity_levels_rendered(report):
+    _, html, _ = report
+    assert "low" in html and "high" in html
+
+
+def test_report_on_empty_db_is_store_error(tmp_path):
+    db_path = tmp_path / "empty.sqlite"
+    CampaignDB(db_path).open().close()
+    with pytest.raises(CampaignStoreError):
+        build_report(db_path, tmp_path / "out")
+
+
+def test_report_unknown_digest_is_store_error(campaign_db, tmp_path):
+    with pytest.raises(CampaignStoreError):
+        build_report(campaign_db[0], tmp_path / "out", digest="0123456789ab")
+
+
+def test_html_escapes_untrusted_text(tmp_path, lu_app, lu_profile):
+    """Detail strings flow into the page; markup in them must not."""
+    from repro.report.html import esc, table
+
+    assert esc("<script>alert(1)</script>") == (
+        "&lt;script&gt;alert(1)&lt;/script&gt;"
+    )
+    out = table(["a"], [["<b>raw</b>"]])
+    assert "<b>" not in out
