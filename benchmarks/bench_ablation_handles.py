@@ -19,7 +19,7 @@ import numpy as np
 from repro.analysis import render_grouped_bars
 from repro.injection import FaultInjector, FaultSpec, Outcome, enumerate_points
 from repro.injection.outcome import OUTCOME_ORDER, classify_exception
-from repro.simmpi import Instrument, SimMPIError, run_app
+from repro.simmpi import Instrument, SimMPIError
 from repro.simmpi.handles import OBJECT_EXTENT
 
 N_TESTS = 60

@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.analysis import fit_error_rates, histogram, render_histogram
 from repro.injection import Campaign, enumerate_points
-from repro.ml.features import invocation_stack
 
 #: A longer-running mini-LAMMPS so one thermo site has many
 #: same-stack invocations (the paper uses 100 of 107).

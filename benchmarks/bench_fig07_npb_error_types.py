@@ -11,7 +11,6 @@ import common
 
 from repro.analysis import render_grouped_bars
 from repro.apps import NPB_NAMES
-from repro.injection import Outcome
 
 
 def bench_fig07_npb_error_types(benchmark):

@@ -7,7 +7,6 @@ shape: strong two-level accuracy, somewhat weaker three-level accuracy.
 """
 
 import common
-import numpy as np
 
 from repro.analysis import EVEN_2_LEVELS, EVEN_3_LEVELS, render_bars
 from repro.apps import NPB_NAMES

@@ -12,7 +12,7 @@ import io
 import json
 from typing import Any
 
-from ..injection.campaign import CampaignResult, PointResult
+from ..injection.campaign import CampaignResult
 from ..injection.outcome import OUTCOME_ORDER, Outcome
 from ..injection.space import InjectionPoint
 from ..obs.events import TraceEvent

@@ -1,0 +1,294 @@
+"""Static collective-matching checker (pass 2) — MPI-Checker style.
+
+Operates purely on an extracted :class:`~repro.analyze.skeleton.Skeleton`:
+no scheduler, no fibers, no data.  Per communicator, every member's
+ordered sequence of collective operations is aligned position-by-position
+and checked for the MPI matching rules:
+
+* same collective operation, in the same order, on every member
+  (an order mismatch is a structurally possible deadlock);
+* sequences of equal length (a member with extra trailing collectives
+  blocks forever — again a deadlock shape);
+* a consistent root, resolved to world ranks, on rooted collectives;
+* compatible type signatures: equal byte volumes contributed by every
+  member, and the same datatype;
+* one reduction op per reduction, with consistent commutativity (a
+  non-commutative op mixed with a commutative one changes fold order on
+  some ranks but not others).
+
+Findings are structured (:class:`Finding`) and ranked by severity so the
+CLI can gate on errors while still reporting informational drift (e.g.
+the same collective reached from different call sites — legal SPMD, but
+worth surfacing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..simmpi import ROOTED_COLLECTIVES
+from .skeleton import Skeleton, SkeletonOp
+
+#: Finding rules, in the order the checks run.
+RULES = (
+    "order_mismatch",
+    "length_mismatch",
+    "root_mismatch",
+    "dtype_mismatch",
+    "count_mismatch",
+    "op_mismatch",
+    "commutativity_mismatch",
+    "site_drift",
+)
+
+_ERROR_RULES = frozenset(RULES) - {"site_drift"}
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One checker diagnosis, anchored at a comm-sequence position."""
+
+    rule: str
+    severity: str  # "error" | "info"
+    comm_context: int
+    position: int
+    message: str
+    ranks: tuple[int, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.rule} @comm{self.comm_context}#{self.position}: {self.message}"
+
+
+@dataclass
+class MatchReport:
+    """All findings of one skeleton check."""
+
+    app_name: str
+    n_ops: int
+    n_comms: int
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def describe(self) -> str:
+        lines = [
+            f"collective-matching check: {self.app_name} "
+            f"({self.n_ops} ops, {self.n_comms} comm(s))"
+        ]
+        if not self.findings:
+            lines.append("  clean: every rank's collective sequence matches")
+        for f in self.findings:
+            lines.append(f"  {f}")
+        return "\n".join(lines)
+
+
+def _volume(op: SkeletonOp) -> int | None:
+    """Bytes this member contributes to / receives from the collective.
+
+    ``None`` means the collective has no per-member fixed volume to
+    compare (vector variants are checked pairwise instead).
+    """
+    a = op.args
+    es = op.dtype_size
+    n = len(op.comm_group)
+    name = op.name
+    if name in ("Bcast",):
+        return int(a["count"]) * es
+    if name in ("Reduce", "Allreduce", "Scan", "Exscan"):
+        return int(a["count"]) * es
+    if name == "Reduce_scatter":
+        return int(a["recvcount"]) * n * es
+    if name in ("Scatter", "Gather"):
+        # The wire volume both sides must agree on is the per-block size.
+        key = "sendcount" if (name == "Scatter") == (op.rank == op.root_world) else "recvcount"
+        return int(a[key]) * es
+    if name in ("Allgather", "Alltoall"):
+        return int(a["sendcount"]) * es
+    return None
+
+
+def _pairwise_vector_findings(
+    ops: list[SkeletonOp], ctx: int, pos: int
+) -> Iterator[Finding]:
+    """Cross-rank count compatibility for the vector collectives."""
+    name = ops[0].name
+    es = {op.me: op.dtype_size for op in ops}
+    if name == "Alltoallv":
+        for dst in ops:
+            for src in ops:
+                sent = int(src.args["sendcounts"][dst.me]) * es[src.me]
+                recvd = int(dst.args["recvcounts"][src.me]) * es[dst.me]
+                if sent != recvd:
+                    yield Finding(
+                        "count_mismatch", "error", ctx, pos,
+                        f"{name}: rank {src.rank} sends {sent} B to rank "
+                        f"{dst.rank}, which posts {recvd} B",
+                        (src.rank, dst.rank),
+                    )
+                    return  # one finding per position is enough
+    elif name == "Alltoallw":
+        for dst in ops:
+            for src in ops:
+                sent = int(src.args["sendcounts"][dst.me])
+                recvd = int(dst.args["recvcounts"][src.me])
+                if sent != recvd:
+                    yield Finding(
+                        "count_mismatch", "error", ctx, pos,
+                        f"{name}: rank {src.rank} sends {sent} elements to "
+                        f"rank {dst.rank}, which posts {recvd}",
+                        (src.rank, dst.rank),
+                    )
+                    return
+    elif name in ("Gatherv", "Scatterv"):
+        root_world = ops[0].root_world
+        root_op = next((op for op in ops if op.rank == root_world), None)
+        if root_op is None:
+            return
+        counts_key = "recvcounts" if name == "Gatherv" else "sendcounts"
+        peer_key = "sendcount" if name == "Gatherv" else "recvcount"
+        for op in ops:
+            root_side = int(root_op.args[counts_key][op.me]) * root_op.dtype_size
+            peer_side = int(op.args[peer_key]) * op.dtype_size
+            if root_side != peer_side:
+                yield Finding(
+                    "count_mismatch", "error", ctx, pos,
+                    f"{name}: root posts {root_side} B for rank {op.rank}, "
+                    f"which contributes {peer_side} B",
+                    (root_world if root_world is not None else -1, op.rank),
+                )
+                return
+    elif name == "Allgatherv":
+        # Every member must agree on the recvcounts layout, and each
+        # member's sendcount must equal its own slot.
+        base = ops[0]
+        for op in ops:
+            if tuple(op.args["recvcounts"]) != tuple(base.args["recvcounts"]):
+                yield Finding(
+                    "count_mismatch", "error", ctx, pos,
+                    f"{name}: rank {op.rank} disagrees with rank {base.rank} "
+                    f"about recvcounts",
+                    (base.rank, op.rank),
+                )
+                return
+            own = int(op.args["recvcounts"][op.me]) * op.dtype_size
+            send = int(op.args["sendcount"]) * op.dtype_size
+            if own != send:
+                yield Finding(
+                    "count_mismatch", "error", ctx, pos,
+                    f"{name}: rank {op.rank} sends {send} B but its "
+                    f"recvcounts slot holds {own} B",
+                    (op.rank,),
+                )
+                return
+
+
+def _check_position(ops: list[SkeletonOp], ctx: int, pos: int) -> Iterator[Finding]:
+    """All checks for one aligned position of one communicator."""
+    base = ops[0]
+    names = {op.name for op in ops}
+    if len(names) > 1:
+        by_name = ", ".join(
+            f"rank {op.rank}: {op.name}@{op.site}" for op in ops
+        )
+        yield Finding(
+            "order_mismatch", "error", ctx, pos,
+            f"collective order differs across ranks ({by_name}) — "
+            f"structurally possible deadlock",
+            tuple(op.rank for op in ops),
+        )
+        return  # further comparisons are meaningless at this position
+    if base.name in ROOTED_COLLECTIVES:
+        roots = {op.root_world for op in ops}
+        if len(roots) > 1:
+            yield Finding(
+                "root_mismatch", "error", ctx, pos,
+                f"{base.name}: ranks disagree about the root "
+                f"(world ranks {sorted(r for r in roots if r is not None)})",
+                tuple(op.rank for op in ops),
+            )
+    dtypes = {op.dtype for op in ops if op.dtype is not None}
+    if len(dtypes) > 1:
+        yield Finding(
+            "dtype_mismatch", "error", ctx, pos,
+            f"{base.name}: mixed datatypes across ranks ({sorted(dtypes)})",
+            tuple(op.rank for op in ops),
+        )
+    volumes = {op.rank: _volume(op) for op in ops}
+    concrete = {v for v in volumes.values() if v is not None}
+    if len(concrete) > 1:
+        yield Finding(
+            "count_mismatch", "error", ctx, pos,
+            f"{base.name}: byte volumes differ across ranks "
+            f"({ {r: v for r, v in sorted(volumes.items())} })",
+            tuple(op.rank for op in ops),
+        )
+    yield from _pairwise_vector_findings(ops, ctx, pos)
+    red_ops = {op.op for op in ops if op.op is not None}
+    if len(red_ops) > 1:
+        yield Finding(
+            "op_mismatch", "error", ctx, pos,
+            f"{base.name}: mixed reduction ops across ranks ({sorted(red_ops)})",
+            tuple(op.rank for op in ops),
+        )
+    commut = {op.op_commutative for op in ops if op.op_commutative is not None}
+    if len(commut) > 1:
+        yield Finding(
+            "commutativity_mismatch", "error", ctx, pos,
+            f"{base.name}: commutative and non-commutative reduction ops "
+            f"mixed in one reduction",
+            tuple(op.rank for op in ops),
+        )
+    sites = {op.site for op in ops}
+    if len(sites) > 1:
+        yield Finding(
+            "site_drift", "info", ctx, pos,
+            f"{base.name} reached from different call sites ({sorted(sites)}) "
+            f"— legal, but review rank-dependent control flow",
+            tuple(op.rank for op in ops),
+        )
+
+
+def check_skeleton(skeleton: Skeleton) -> MatchReport:
+    """Run every static matching check over one skeleton."""
+    # Group each rank's ops per communicator, preserving program order.
+    per_comm: dict[int, dict[int, list[SkeletonOp]]] = {}
+    groups: dict[int, tuple[int, ...]] = {}
+    for seq in skeleton.ranks:
+        for op in seq:
+            per_comm.setdefault(op.comm_context, {}).setdefault(op.me, []).append(op)
+            groups[op.comm_context] = op.comm_group
+    report = MatchReport(skeleton.app_name, skeleton.n_ops, len(per_comm))
+    for ctx in sorted(per_comm):
+        by_me = per_comm[ctx]
+        group = groups[ctx]
+        lengths = {me: len(seq) for me, seq in by_me.items()}
+        depth = min(lengths.values()) if len(by_me) == len(group) else 0
+        missing = [group[me] for me in range(len(group)) if me not in by_me]
+        if missing or len(set(lengths.values())) > 1:
+            detail = {group[me]: n for me, n in sorted(lengths.items())}
+            for w in missing:
+                detail[w] = 0
+            report.findings.append(
+                Finding(
+                    "length_mismatch", "error", ctx, depth,
+                    f"members disagree on the number of collectives "
+                    f"(per world rank: {dict(sorted(detail.items()))}) — "
+                    f"trailing calls can never complete",
+                    tuple(sorted(detail)),
+                )
+            )
+        depth = min(lengths.values()) if lengths else 0
+        if len(by_me) != len(group):
+            continue
+        for pos in range(depth):
+            ops = [by_me[me][pos] for me in range(len(group))]
+            report.findings.extend(_check_position(ops, ctx, pos))
+    report.findings.sort(key=lambda f: (f.severity != "error", f.comm_context, f.position))
+    return report

@@ -1,0 +1,165 @@
+"""Seeded skeleton defects the matching checker must catch.
+
+Mirror of the ``repro.verify`` mutant self-test pattern: each named
+mutant plants one realistic cross-rank bug into an otherwise-clean
+extracted skeleton — the shapes a real SPMD bug would produce (a rank
+taking a divergent branch, disagreeing about a root, posting a
+different datatype) — and :func:`run_mutant` asserts the static checker
+reports the expected rule.  A mutant the checker cannot see is the
+failure (CI exit convention: detected ⇒ exit 0).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from ..apps.base import Application
+from ..apps.registry import make_app
+from .matching import check_skeleton
+from .skeleton import Skeleton, extract_skeleton, mutate_op, replace_skeleton
+
+
+def _swap_adjacent_collectives(sk: Skeleton) -> Skeleton:
+    """Rank 1 issues two adjacent collectives in the opposite order."""
+    seq = list(sk.ranks[1])
+    for i in range(len(seq) - 1):
+        a, b = seq[i], seq[i + 1]
+        if a.name != b.name and a.comm_context == b.comm_context:
+            seq[i] = dataclasses.replace(b, seq=a.seq)
+            seq[i + 1] = dataclasses.replace(a, seq=b.seq)
+            ranks = list(sk.ranks)
+            ranks[1] = seq
+            return replace_skeleton(sk, ranks)
+    raise RuntimeError("app has no adjacent differing collectives to swap")
+
+
+def _shift_root(sk: Skeleton) -> Skeleton:
+    """Rank 1 believes a rooted collective is rooted one rank over."""
+    for i, op in enumerate(sk.ranks[1]):
+        if op.root_world is not None:
+            return mutate_op(
+                sk, 1, i, root_world=(op.root_world + 1) % sk.nranks
+            )
+    raise RuntimeError("app issues no rooted collectives")
+
+
+def _widen_dtype(sk: Skeleton) -> Skeleton:
+    """Rank 0 posts the same element count of a twice-as-wide datatype —
+    element counts agree, byte volumes don't."""
+    for i, op in enumerate(sk.ranks[0]):
+        if op.dtype is not None and op.name in (
+            "Bcast", "Reduce", "Allreduce", "Scan", "Exscan",
+            "Scatter", "Gather", "Allgather", "Alltoall", "Reduce_scatter",
+        ):
+            return mutate_op(
+                sk, 0, i,
+                dtype="MPI_DOUBLE" if op.dtype != "MPI_DOUBLE" else "MPI_FLOAT",
+                dtype_size=op.dtype_size * 2,
+            )
+    raise RuntimeError("app issues no fixed-count typed collectives")
+
+
+def _drop_last_call(sk: Skeleton) -> Skeleton:
+    """Rank 0 returns early, skipping its final collective."""
+    if not sk.ranks[0]:
+        raise RuntimeError("rank 0 issues no collectives")
+    ranks = list(sk.ranks)
+    ranks[0] = list(sk.ranks[0][:-1])
+    return replace_skeleton(sk, ranks)
+
+
+def _swap_reduce_op(sk: Skeleton) -> Skeleton:
+    """Rank 1 reduces with a different operation than its peers."""
+    for i, op in enumerate(sk.ranks[1]):
+        if op.op is not None:
+            return mutate_op(
+                sk, 1, i, op="MPI_MAX" if op.op != "MPI_MAX" else "MPI_SUM"
+            )
+    raise RuntimeError("app issues no reductions")
+
+
+@dataclass(frozen=True)
+class SkeletonMutant:
+    """One installable skeleton defect."""
+
+    name: str
+    description: str
+    apply: Callable[[Skeleton], Skeleton]
+    #: Matching-checker rules that must appear as errors.
+    detected_by: tuple[str, ...]
+
+
+ANALYZE_MUTANTS: dict[str, SkeletonMutant] = {
+    m.name: m
+    for m in (
+        SkeletonMutant(
+            "order_swap",
+            "rank 1 issues two adjacent collectives in the opposite order",
+            _swap_adjacent_collectives,
+            detected_by=("order_mismatch",),
+        ),
+        SkeletonMutant(
+            "wrong_root",
+            "rank 1 disagrees with its peers about a collective's root",
+            _shift_root,
+            detected_by=("root_mismatch",),
+        ),
+        SkeletonMutant(
+            "dtype_counts",
+            "rank 0 posts the same count of a wider datatype (byte volumes differ)",
+            _widen_dtype,
+            detected_by=("dtype_mismatch", "count_mismatch"),
+        ),
+        SkeletonMutant(
+            "dropped_call",
+            "rank 0 skips its final collective (structural deadlock)",
+            _drop_last_call,
+            detected_by=("length_mismatch",),
+        ),
+        SkeletonMutant(
+            "op_swap",
+            "rank 1 reduces with a different operation than its peers",
+            _swap_reduce_op,
+            detected_by=("op_mismatch",),
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class MutantCheck:
+    """Outcome of one mutant self-test."""
+
+    name: str
+    detected: bool
+    expected: tuple[str, ...]
+    found: tuple[str, ...]
+    clean_before: bool
+
+    def describe(self) -> str:
+        verdict = "DETECTED" if self.detected else "MISSED"
+        return (
+            f"mutant {self.name}: {verdict} "
+            f"(expected {', '.join(self.expected)}; "
+            f"found {', '.join(self.found) or 'nothing'})"
+        )
+
+
+def run_mutant(name: str, app: Application | None = None) -> MutantCheck:
+    """Plant one mutant and check the static checker flags it.
+
+    Also asserts the unmutated skeleton is clean — a checker that cries
+    wolf on correct code would trivially "detect" everything.
+    """
+    mutant = ANALYZE_MUTANTS[name]
+    if app is None:
+        app = make_app("is", "T")
+    sk = extract_skeleton(app)
+    clean_before = check_skeleton(sk).ok
+    mutated = mutant.apply(sk)
+    report = check_skeleton(mutated)
+    found = tuple(sorted({f.rule for f in report.errors}))
+    detected = clean_before and all(rule in found for rule in mutant.detected_by)
+    return MutantCheck(name, detected, mutant.detected_by, found, clean_before)

@@ -6,7 +6,11 @@ Usage (``python -m repro`` or the ``fastfit`` entry point)::
     fastfit profile  --app lammps --problem-class T
     fastfit prune    --app lu     --problem-class S
     fastfit campaign --app mg     --tests 20 --policy buffer
+    fastfit campaign --app is     --tests 20 --static-prune
     fastfit run      --db campaigns.sqlite --tests 20
+    fastfit analyze  --app lu     --tests 10 --sample 0.2
+    fastfit analyze  --lint-only
+    fastfit analyze  --mutant wrong_root
     fastfit learn    --app lammps --threshold 0.65
     fastfit study    --app lammps --threshold 0.65
     fastfit trace    --app lu     --find-outcome INF_LOOP
@@ -37,6 +41,7 @@ from .analysis import (
     render_grouped_bars,
     render_table,
 )
+from .analyze import StaticPruneError
 from .apps import APPLICATIONS, make_app
 from .exec.checkpoint import CheckpointMismatch
 from .fastfit import FastFIT
@@ -118,6 +123,12 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         help="abort the campaign when a unit exhausts its retries instead "
         "of quarantining it with TOOL_ERROR verdicts",
     )
+    p.add_argument(
+        "--static-prune", action="store_true",
+        help="skip tests whose outcome the static pre-classifier proves "
+        "(see 'fastfit analyze'); serial in-memory campaigns only — "
+        "incompatible with --jobs > 1, --db, and --checkpoint-dir",
+    )
 
 
 def _tool(args: argparse.Namespace) -> FastFIT:
@@ -140,6 +151,7 @@ def _tool(args: argparse.Namespace) -> FastFIT:
         quarantine=getattr(args, "quarantine", True),
         progress_sinks=sinks,
         progress_every=getattr(args, "progress_every", 1),
+        static_prune=getattr(args, "static_prune", False),
     )
 
 
@@ -207,6 +219,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             title=f"response types ({len(points)} points × {args.tests} tests, policy={args.policy})",
         )
     )
+    if args.static_prune:
+        total = len(points) * args.tests
+        skipped = campaign.predicted_count()
+        frac = skipped / total if total else 0.0
+        print(
+            f"\nstatic prune: {skipped}/{total} tests "
+            f"({frac:.1%}) statically proven, dynamic run skipped"
+        )
     print()
     groups = {
         coll: level_distribution(sub.error_rates(), PAPER_3_LEVELS)
@@ -483,6 +503,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if campaign_s > 0:
         print(f"\nthroughput: {n_tests} tests in {campaign_s:.3f}s "
               f"({n_tests / campaign_s:.1f} tests/sec)")
+    n_predicted = data["counters"].get("campaign.tests_predicted", 0)
+    if n_predicted:
+        print(f"static prune: {n_predicted} of {n_tests} tests statically "
+              f"proven ({n_predicted / n_tests:.1%} skipped)")
 
     print()
     print(
@@ -645,6 +669,174 @@ def _campaign_signature(result) -> list:
     return sig
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Static analysis over an application's fault space: the
+    collective-matching checker, the provable fault-outcome
+    pre-classifier (optionally cross-validated against live runs), and
+    the determinism/simulator-safety lint.  Exit 0 = clean, 1 =
+    findings/mismatches, 2 = operator error."""
+    from collections import Counter
+
+    from .analyze import (
+        ANALYZE_MUTANTS,
+        PreClassifier,
+        check_skeleton,
+        cross_validate,
+        extract_skeleton,
+        lint_tree,
+        predict_tests,
+        run_mutant,
+    )
+    from .injection import enumerate_points
+    from .profiling import profile_application
+
+    # -- operator-error hygiene (exit 2, one line, no traceback) --------
+    if args.mutant is not None and args.mutant not in ANALYZE_MUTANTS:
+        print(
+            f"unknown mutant {args.mutant!r}; choices: "
+            f"{', '.join(sorted(ANALYZE_MUTANTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.lint_only and (args.mutant is not None or args.list_mutants):
+        print("--lint-only and --mutant/--list-mutants are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.sample is not None and not 0.0 < args.sample <= 1.0:
+        print(f"--sample must be in (0, 1], got {args.sample}", file=sys.stderr)
+        return 2
+    if args.sample is not None and (args.lint_only or args.mutant is not None):
+        print("--sample only applies to the full analysis", file=sys.stderr)
+        return 2
+
+    if args.list_mutants:
+        rows = [
+            [m.name, ", ".join(m.detected_by), m.description]
+            for m in ANALYZE_MUTANTS.values()
+        ]
+        print(render_table(["mutant", "detected by", "description"], rows,
+                           title="seeded skeleton mutants"))
+        return 0
+
+    if args.mutant is not None:
+        # Self-test: plant the defect, require the checker to flag it.
+        app = make_app(args.app, args.problem_class) if args.app else None
+        check = run_mutant(args.mutant, app)
+        if args.json:
+            print(json.dumps({
+                "mutant": check.name, "detected": check.detected,
+                "expected": list(check.expected), "found": list(check.found),
+                "clean_before": check.clean_before,
+            }))
+        else:
+            print(check.describe())
+        return 0 if check.detected else 1
+
+    lint_findings = lint_tree()
+    if args.lint_only:
+        for f in lint_findings:
+            print(f"{f.path}:{f.line}: {f.rule}: {f.message}")
+        if args.json:
+            print(json.dumps([
+                {"path": f.path, "line": f.line, "rule": f.rule,
+                 "message": f.message}
+                for f in lint_findings
+            ]))
+        elif not lint_findings:
+            print("lint: clean")
+        return 1 if lint_findings else 0
+
+    if args.app is None:
+        print("analyze requires --app (unless --lint-only or --list-mutants)",
+              file=sys.stderr)
+        return 2
+
+    app = make_app(args.app, args.problem_class)
+    skeleton = extract_skeleton(app)
+    match = check_skeleton(skeleton)
+
+    summary: dict = {
+        "app": app.name,
+        "lint": [
+            {"path": f.path, "line": f.line, "rule": f.rule, "message": f.message}
+            for f in lint_findings
+        ],
+        "matching": {
+            "ok": match.ok,
+            "n_ops": match.n_ops,
+            "n_comms": match.n_comms,
+            "findings": [
+                {"rule": f.rule, "severity": f.severity, "message": f.message}
+                for f in match.findings
+            ],
+        },
+    }
+    ok = match.ok and not lint_findings
+
+    cv = None
+    if match.ok and args.sample is not None:
+        # Referee mode: re-run a deterministic stride of the predicted
+        # tests in the live simulator; one mismatch fails the analysis.
+        cv = cross_validate(
+            app, seed=args.seed, tests_per_point=args.tests,
+            param_policy=args.policy, sample=args.sample, skeleton=skeleton,
+        )
+        ok = ok and cv.ok
+        summary["crossval"] = {
+            "ok": cv.ok, "n_tests": cv.n_tests, "n_predicted": cv.n_predicted,
+            "n_checked": cv.n_checked, "coverage": cv.coverage,
+            "rules": dict(cv.rules),
+            "mismatches": [
+                {"param": m.param, "rule": m.rule,
+                 "predicted": m.predicted.value, "actual": m.actual.value,
+                 "detail": m.detail}
+                for m in cv.mismatches
+            ],
+        }
+    elif match.ok:
+        # Static-only pass: classify the whole campaign, run nothing.
+        pre = PreClassifier(skeleton, seed=args.seed, param_policy=args.policy)
+        points = enumerate_points(profile_application(app))
+        rules: Counter = Counter()
+        n_tests = n_predicted = 0
+        for _i, _t, _point, prediction in predict_tests(pre, points, args.tests):
+            n_tests += 1
+            if prediction is not None:
+                n_predicted += 1
+                rules[prediction.rule] += 1
+        summary["preclassify"] = {
+            "n_tests": n_tests, "n_predicted": n_predicted,
+            "coverage": n_predicted / n_tests if n_tests else 0.0,
+            "rules": dict(rules),
+        }
+
+    if args.json:
+        summary["ok"] = ok
+        print(json.dumps(summary, indent=2))
+        return 0 if ok else 1
+
+    print(match.describe())
+    for f in lint_findings:
+        print(f"{f.path}:{f.line}: {f.rule}: {f.message}")
+    print(f"lint: {len(lint_findings)} finding(s)"
+          if lint_findings else "lint: clean")
+    if cv is not None:
+        print()
+        print(cv.describe())
+    elif "preclassify" in summary:
+        pc = summary["preclassify"]
+        print()
+        rows = [[rule, n] for rule, n in sorted(
+            pc["rules"].items(), key=lambda kv: -kv[1])]
+        print(render_table(
+            ["rule", "tests"], rows,
+            title=f"statically proven: {pc['n_predicted']}/{pc['n_tests']} "
+            f"tests ({pc['coverage']:.1%}) — not cross-validated "
+            f"(use --sample)",
+        ))
+    return 0 if ok else 1
+
+
 def cmd_study(args: argparse.Namespace) -> int:
     ff = _tool(args)
     threshold = None if args.no_ml else args.threshold
@@ -704,6 +896,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.65)
     p.add_argument("--batch-size", type=int, default=None)
     p.set_defaults(fn=cmd_learn)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static analysis: collective-matching checker, provable "
+        "fault-outcome pre-classification (cross-validated), and the "
+        "determinism lint",
+        parents=[verbosity],
+    )
+    _add_app_args(p, required=False)
+    p.add_argument(
+        "--tests", type=int, default=10,
+        help="tests per injection point to classify (default 10)",
+    )
+    p.add_argument(
+        "--policy", default="all",
+        help='fault target policy to classify under (default "all")',
+    )
+    p.add_argument(
+        "--sample", type=float, default=None, metavar="FRACTION",
+        help="cross-validate this fraction of the statically predicted "
+        "tests against live simulator runs (exit 1 on any mismatch); "
+        "must be in (0, 1]",
+    )
+    p.add_argument(
+        "--lint-only", action="store_true",
+        help="run only the determinism/simulator-safety lint over the "
+        "repro package",
+    )
+    p.add_argument(
+        "--mutant", default=None, metavar="NAME",
+        help="plant a seeded skeleton defect and require the matching "
+        "checker to catch it (exit 0 = detected); see --list-mutants",
+    )
+    p.add_argument(
+        "--list-mutants", action="store_true",
+        help="list seeded skeleton mutants and exit",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable summary")
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser(
         "study", help="full study: profile → prune → campaign/learn", parents=[verbosity]
@@ -850,6 +1081,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if jobs < 1:
         print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
         return 2
+    if getattr(args, "static_prune", False) and (
+        jobs != 1
+        or getattr(args, "db", None)
+        or getattr(args, "checkpoint_dir", None)
+    ):
+        print(
+            "--static-prune requires a serial in-memory campaign "
+            "(incompatible with --jobs > 1, --db, and --checkpoint-dir)",
+            file=sys.stderr,
+        )
+        return 2
     unit_timeout = getattr(args, "unit_timeout", None)
     if unit_timeout is not None and unit_timeout <= 0:
         print(f"--unit-timeout must be > 0 seconds, got {unit_timeout}", file=sys.stderr)
@@ -864,7 +1106,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     try:
         return args.fn(args)
-    except (CheckpointMismatch, CampaignStoreError, MigrationError) as exc:
+    except (CheckpointMismatch, CampaignStoreError, MigrationError, StaticPruneError) as exc:
         # A stale/foreign checkpoint, locked database, or unconvertible
         # directory is an operator error, not a crash: one line, exit 2,
         # no traceback.

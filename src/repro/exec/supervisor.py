@@ -43,7 +43,7 @@ import os
 import pickle
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing import get_context
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import TYPE_CHECKING, Iterator, Sequence

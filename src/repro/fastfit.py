@@ -16,7 +16,7 @@ Typical use::
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from .analysis.reports import render_table
@@ -130,6 +130,7 @@ class FastFIT:
         tracer=None,
         progress_sinks=None,
         progress_every: int = 1,
+        static_prune: bool = False,
     ):
         self.app = app
         self.seed = seed
@@ -159,8 +160,12 @@ class FastFIT:
         self.max_retries = max_retries
         self.quarantine = quarantine
         self.tracer = tracer
+        #: Skip tests whose outcome the static pre-classifier proves
+        #: (serial in-memory campaigns only; see :mod:`repro.analyze`).
+        self.static_prune = static_prune
         self._profile: ApplicationProfile | None = None
         self._pruning: PruningReport | None = None
+        self._preclassifier = None
 
     @classmethod
     def for_app(cls, name: str, problem_class: str = "T", **kwargs) -> "FastFIT":
@@ -199,6 +204,32 @@ class FastFIT:
             )
         return self._pruning
 
+    def preclassifier(self):
+        """The static fault-outcome pre-classifier (cached).
+
+        Extracts the collective skeleton and verifies it with the
+        matching checker first: the pre-classifier's truncate/volume
+        proofs are only sound over a checker-clean skeleton, so a dirty
+        one raises :class:`repro.analyze.StaticPruneError` instead of
+        silently mispredicting."""
+        if self._preclassifier is None:
+            from .analyze import PreClassifier, StaticPruneError, check_skeleton, extract_skeleton
+
+            with self.metrics.time("phase.analyze_s"):
+                skeleton = extract_skeleton(self.app)
+                report = check_skeleton(skeleton)
+                if not report.ok:
+                    raise StaticPruneError(
+                        f"cannot statically prune {self.app.name}: "
+                        f"matching checker found "
+                        f"{len(report.errors)} error(s); run 'fastfit "
+                        f"analyze' for the full report"
+                    )
+                self._preclassifier = PreClassifier(
+                    skeleton, seed=self.seed, param_policy=self.param_policy
+                )
+        return self._preclassifier
+
     def campaign(
         self, points: Sequence[InjectionPoint] | None = None, tests_per_point: int | None = None
     ) -> CampaignResult:
@@ -223,6 +254,7 @@ class FastFIT:
             tracer=self.tracer,
             progress_sinks=self.progress_sinks,
             progress_every=self.progress_every,
+            preclassifier=self.preclassifier() if self.static_prune else None,
         )
         logger.info(
             "campaign: %d points x %d tests (%d jobs)",

@@ -162,6 +162,12 @@ class CampaignResult:
         (quarantined units, contained simulator crashes)."""
         return sum(pr.n_tool_errors for pr in self.points.values())
 
+    def predicted_count(self) -> int:
+        """Tests resolved statically (``--static-prune``) instead of run."""
+        return sum(
+            1 for pr in self.points.values() for t in pr.tests if t.predicted
+        )
+
     def outcome_fractions(self) -> dict[Outcome, float]:
         hist = self.outcome_histogram()
         total = sum(hist.values()) or 1
@@ -260,6 +266,7 @@ class Campaign:
         quarantine: bool = True,
         tracer=None,
         progress_sinks=None,
+        preclassifier=None,
     ):
         self.app = app
         self.profile = profile
@@ -282,6 +289,17 @@ class Campaign:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if checkpoint_dir is not None and db_path is not None:
             raise ValueError("checkpoint_dir and db_path are mutually exclusive")
+        if preclassifier is not None and (
+            jobs != 1 or checkpoint_dir is not None or db_path is not None
+        ):
+            # Parallel workers rebuild their own test streams and the
+            # store schema has no predicted rows yet: static pruning is
+            # serial-path only, and silently dropping it would change
+            # which tests execute.
+            raise ValueError(
+                "static pruning (preclassifier) is incompatible with "
+                "jobs>1, checkpoint_dir, and db_path"
+            )
         self.jobs = jobs
         self.progress_every = progress_every
         self.checkpoint_dir = checkpoint_dir
@@ -296,6 +314,9 @@ class Campaign:
         #: Optional :class:`~repro.obs.events.Tracer` receiving
         #: supervision events (``unit_retry``/``unit_quarantined``).
         self.tracer = tracer
+        #: Optional :class:`repro.analyze.PreClassifier`; tests it
+        #: proves are recorded as ``predicted`` results without running.
+        self.preclassifier = preclassifier
         self.runner = InjectionRunner(app, profile, algorithms=algorithms)
 
     def _rng_for(self, point_index: int, test_index: int) -> np.random.Generator:
@@ -308,12 +329,28 @@ class Campaign:
         """All tests for one injection point."""
         pr = PointResult(point)
         for t in range(self.tests_per_point):
+            if self.preclassifier is not None:
+                prediction = self.preclassifier.predict(point, point_index, t)
+                if prediction is not None:
+                    pr.add(
+                        TestResult(
+                            FaultSpec(point, prediction.param, prediction.bit),
+                            prediction.outcome,
+                            None,
+                            detail=f"static: {prediction.rule} — {prediction.detail}",
+                            predicted=True,
+                        )
+                    )
+                    continue
             rng = self._rng_for(point_index, t)
             param = pick_target(rng, point.collective, self.param_policy)
             spec = FaultSpec(point, param, None)
             pr.add(self.runner.run_one(spec, rng))
         if self.metrics is not None:
             self.metrics.counter("campaign.tests").inc(pr.n_tests)
+            predicted = sum(1 for t in pr.tests if t.predicted)
+            if predicted:
+                self.metrics.counter("campaign.tests_predicted").inc(predicted)
             for outcome, n in pr._synced_counts().items():
                 self.metrics.counter(f"campaign.outcome.{outcome.name}").inc(n)
             self.metrics.histogram("campaign.point_error_rate").observe(pr.error_rate)

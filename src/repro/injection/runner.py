@@ -35,6 +35,9 @@ class TestResult:
     outcome: Outcome
     record: InjectionRecord | None
     detail: str = ""
+    #: True when the outcome was statically proven by
+    #: :class:`repro.analyze.PreClassifier` and the dynamic run skipped.
+    predicted: bool = False
 
     @property
     def injected(self) -> bool:

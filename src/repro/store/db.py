@@ -23,7 +23,6 @@ import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
-from ..injection.outcome import Outcome
 from ..injection.runner import TestResult
 from ..obs.metrics import MetricsRegistry
 from ..exec.sharding import WorkUnit

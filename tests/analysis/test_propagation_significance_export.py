@@ -23,7 +23,7 @@ from repro.analysis import (
     tests_to_csv,
     wilson_interval,
 )
-from repro.injection import InjectionPoint, Outcome, enumerate_points
+from repro.injection import InjectionPoint, enumerate_points
 
 
 class TestPropagation:

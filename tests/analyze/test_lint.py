@@ -1,0 +1,149 @@
+"""Determinism/simulator-safety lint: every rule fires on a seeded
+violation, the suppression comment works, and the shipped simulator
+scope is clean."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analyze import lint_source, lint_tree
+from repro.analyze.lint import DEFAULT_SCOPE, LINT_RULES
+
+
+def _rules(source, hot=False):
+    return {f.rule for f in lint_source(textwrap.dedent(source), "mod.py", hot=hot)}
+
+
+def test_wallclock_flagged():
+    assert "wallclock" in _rules(
+        """
+        import time
+
+        def step():
+            return time.time()
+        """
+    )
+
+
+def test_datetime_now_flagged():
+    assert "wallclock" in _rules(
+        """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """
+    )
+
+
+def test_global_rng_flagged():
+    assert "global-rng" in _rules(
+        """
+        import random
+
+        def pick():
+            return random.random()
+        """
+    )
+
+
+def test_numpy_legacy_global_rng_flagged():
+    assert "global-rng" in _rules(
+        """
+        import numpy as np
+
+        def pick():
+            return np.random.rand(3)
+        """
+    )
+
+
+def test_numpy_generator_api_allowed():
+    assert not _rules(
+        """
+        import numpy as np
+
+        def pick(seed):
+            return np.random.default_rng(seed).integers(0, 10)
+        """
+    )
+
+
+def test_set_iteration_flagged():
+    assert "set-iteration" in _rules(
+        """
+        def walk(items):
+            for x in {1, 2, 3}:
+                yield x
+        """
+    )
+
+
+def test_blocking_io_flagged():
+    assert "blocking-io" in _rules(
+        """
+        def load(path):
+            with open(path) as f:
+                return f.read()
+        """
+    )
+
+
+def test_socket_import_flagged():
+    assert "blocking-io" in _rules(
+        """
+        import socket
+        """
+    )
+
+
+def test_missing_slots_on_hot_path_flagged():
+    source = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Frame:
+            depth: int
+        """
+    assert "missing-slots" in _rules(source, hot=True)
+    # The same class off the hot path is fine.
+    assert "missing-slots" not in _rules(source, hot=False)
+
+
+def test_parse_error_is_a_finding():
+    assert _rules("def broken(:\n") == {"parse-error"}
+
+
+def test_suppression_comment_honored():
+    assert not _rules(
+        """
+        import time
+
+        def step():
+            return time.time()  # lint: allow(wallclock)
+        """
+    )
+
+
+def test_suppression_is_rule_specific():
+    assert "wallclock" in _rules(
+        """
+        import time
+
+        def step():
+            return time.time()  # lint: allow(global-rng)
+        """
+    )
+
+
+def test_every_rule_documented():
+    assert set(LINT_RULES) >= {
+        "wallclock", "global-rng", "set-iteration", "blocking-io",
+        "missing-slots", "parse-error",
+    }
+
+
+def test_shipped_scope_is_clean():
+    findings = lint_tree()
+    assert findings == [], "\n".join(str(f) for f in findings)
+    assert "simmpi" in DEFAULT_SCOPE and "analyze" in DEFAULT_SCOPE

@@ -10,7 +10,6 @@ import json
 
 import pytest
 
-from repro.exec.checkpoint import CheckpointStore, campaign_digest
 from repro.exec.parallel import ParallelCampaign
 from repro.exec.sharding import make_units
 from repro.exec.supervisor import SupervisorConfig, UnitFailedError

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps import make_app
-from repro.injection import OUTCOME_ORDER, Outcome
+from repro.injection import OUTCOME_ORDER
 from repro.injection.p2p import (
     P2PFaultInjector,
     P2PFaultSpec,

@@ -15,7 +15,6 @@ from repro.profiling import (
     graphs_equivalent,
     group_by_stack,
     phase_indicator,
-    profile_application,
     stack_digest,
     stack_histogram,
 )

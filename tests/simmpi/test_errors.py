@@ -1,6 +1,5 @@
 """Error-taxonomy unit tests."""
 
-import pytest
 
 from repro.simmpi import (
     AppError,

@@ -1,6 +1,5 @@
 """CampaignDB / DBCheckpointStore unit tests (no campaign runs)."""
 
-import sqlite3
 
 import pytest
 
