@@ -1,0 +1,144 @@
+"""Snapshot-and-fork vs from-scratch injection throughput.
+
+The snapshot engine (``repro.snapshot``) runs the fault-free prefix of a
+job *once* per injection site, parks it, and serves every test at that
+site by forking the parked process — so the cost of reaching a late
+collective invocation is paid once instead of once per test.  This
+benchmark measures exactly that amortization: the same batch of tests at
+deep (max-invocation) injection sites, executed
+
+* ``scratch`` — every test replayed from t=0 (``InjectionRunner.run_one``);
+* ``forked``  — every test served from the parked prefix
+  (``SnapshotEngine.serve_point``);
+
+on LU and FT at 8 ranks.  ``extra_info`` carries ``n_tests`` (so the
+JSON hook derives ``tests_per_sec``) plus, on the forked records, the
+measured ``speedup_vs_scratch`` — the acceptance number (the ROADMAP
+asks ≥3× on multi-site LU@8).
+
+Deep points are deliberate: amortization grows with prefix length, and
+the paper's interesting sites (late iterations, converged state) are
+exactly the deep ones.  Sized via ``FASTFIT_SNAPFORK_SITES`` /
+``FASTFIT_SNAPFORK_TESTS`` so CI can smoke it cheaply.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import common
+from repro.apps.npb.ft_kernel import FTKernel
+from repro.apps.npb.lu_kernel import LUKernel
+from repro.injection.runner import InjectionRunner
+from repro.injection.space import FaultSpec, enumerate_points, points_per_site
+from repro.injection.targets import pick_target
+from repro.profiling import profile_application
+from repro.snapshot import SnapshotEngine, snapshot_supported
+
+N_SITES = int(os.environ.get("FASTFIT_SNAPFORK_SITES", "4"))
+TESTS_PER_POINT = int(os.environ.get("FASTFIT_SNAPFORK_TESTS", "25"))
+#: "deep" (default) — prefixes long enough that amortization dominates
+#: (~130 ms/run, the regime the engine targets); "quick" — tiny runs for
+#: CI smoke, where per-fork overhead is comparable to a full replay and
+#: no speedup is expected or asserted.
+SCALE = os.environ.get("FASTFIT_SNAPFORK_SCALE", "deep")
+SEED = 2015
+
+APPS = {
+    "deep": {
+        "lu8": lambda: LUKernel(8, rows_per_rank=16, ncols=128, iterations=30, omega=1.2, seed=99),
+        "ft8": lambda: FTKernel(8, nx=64, ny=64, iterations=30, seed=42),
+    },
+    "quick": {
+        "lu8": lambda: LUKernel(8, rows_per_rank=4, ncols=32, iterations=4, omega=1.2, seed=99),
+        "ft8": lambda: FTKernel(8, nx=16, ny=16, iterations=3, seed=42),
+    },
+}[SCALE]
+
+_setup: dict[str, tuple] = {}
+_seconds: dict[tuple[str, str], float] = {}
+_signatures: dict[tuple[str, str], list] = {}
+
+
+def _get_setup(name: str):
+    """(runner, deep points) for an app — profiled once per session."""
+    if name not in _setup:
+        app = APPS[name]()
+        profile = profile_application(app)
+        by_site = points_per_site(enumerate_points(profile))
+        # One max-invocation point per site, deepest sites first.
+        deep = sorted(
+            (max(pts, key=lambda p: p.invocation) for pts in by_site.values()),
+            key=lambda p: -p.invocation,
+        )[:N_SITES]
+        _setup[name] = (InjectionRunner(app, profile), deep)
+    return _setup[name]
+
+
+def _tasks_for(points, pi: int):
+    tasks = []
+    for t in range(TESTS_PER_POINT):
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=SEED, spawn_key=(pi, t))
+        )
+        param = pick_target(rng, points[pi].collective, "buffer")
+        tasks.append((FaultSpec(points[pi], param, None), rng))
+    return tasks
+
+
+def _signature(tests) -> list:
+    return [(repr(t.spec.point), t.spec.param, t.outcome.name, t.detail) for t in tests]
+
+
+@pytest.mark.parametrize("app_name", sorted(APPS))
+def bench_scratch(benchmark, app_name):
+    runner, points = _get_setup(app_name)
+
+    def run():
+        start = time.perf_counter()
+        out = [
+            [runner.run_one(spec, rng) for spec, rng in _tasks_for(points, pi)]
+            for pi in range(len(points))
+        ]
+        _seconds[(app_name, "scratch")] = time.perf_counter() - start
+        return out
+
+    results = common.once(benchmark, run, n_tests=len(points) * TESTS_PER_POINT)
+    benchmark.extra_info["mode"] = "scratch"
+    benchmark.extra_info["n_sites"] = len(points)
+    _signatures[(app_name, "scratch")] = [_signature(tests) for tests in results]
+
+
+@pytest.mark.parametrize("app_name", sorted(APPS))
+def bench_forked(benchmark, app_name):
+    if not snapshot_supported():
+        pytest.skip("snapshot-and-fork needs os.fork")
+    runner, points = _get_setup(app_name)
+    engine = SnapshotEngine(runner)
+
+    def run():
+        start = time.perf_counter()
+        out = [
+            engine.serve_point(points[pi], _tasks_for(points, pi))
+            for pi in range(len(points))
+        ]
+        _seconds[(app_name, "forked")] = time.perf_counter() - start
+        return out
+
+    results = common.once(benchmark, run, n_tests=len(points) * TESTS_PER_POINT)
+    benchmark.extra_info["mode"] = "forked"
+    benchmark.extra_info["n_sites"] = len(points)
+    scratch = _seconds.get((app_name, "scratch"))
+    mine = _seconds.get((app_name, "forked"))
+    if scratch and mine:
+        benchmark.extra_info["speedup_vs_scratch"] = scratch / mine
+
+    # Equivalence spot-check on real work: forked == scratch, bit for bit.
+    forked_sig = [_signature(tests) for tests in results]
+    scratch_sig = _signatures.get((app_name, "scratch"))
+    if scratch_sig is not None:
+        assert forked_sig == scratch_sig

@@ -77,6 +77,12 @@ class Application(abc.ABC):
     #: Relative tolerance for the golden comparison (loose for
     #: statistically verified codes like molecular dynamics).
     rtol: float = 1e-9
+    #: Whether identical inputs always produce an identical execution.
+    #: Every shipped workload is deterministic by construction (no
+    #: wall-clock, seeded RNG); an app that breaks that contract must set
+    #: this False, which disables prefix snapshot-and-fork serving
+    #: (:mod:`repro.snapshot`) in favour of full from-scratch replays.
+    deterministic: bool = True
 
     def __init__(self, nranks: int, **params: Any):
         self.nranks = nranks

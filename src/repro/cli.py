@@ -129,6 +129,13 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         "(see 'fastfit analyze'); serial in-memory campaigns only — "
         "incompatible with --jobs > 1, --db, and --checkpoint-dir",
     )
+    p.add_argument(
+        "--snapshot", action=argparse.BooleanOptionalAction, default=True,
+        help="snapshot-and-fork serving: run the fault-free prefix once "
+        "per injection point and fork every test from the parked state "
+        "(bit-identical results, default on); --no-snapshot forces "
+        "classic full replays and the point-major unit layout",
+    )
 
 
 def _tool(args: argparse.Namespace) -> FastFIT:
@@ -152,6 +159,7 @@ def _tool(args: argparse.Namespace) -> FastFIT:
         progress_sinks=sinks,
         progress_every=getattr(args, "progress_every", 1),
         static_prune=getattr(args, "static_prune", False),
+        snapshot=getattr(args, "snapshot", True),
     )
 
 
@@ -538,10 +546,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_verify(args: argparse.Namespace) -> int:
     """Run the verification suite: conformance, sanitizers, replay,
-    campaign determinism.  Exit 0 only when every phase is clean."""
+    campaign determinism, snapshot fork-equivalence.  Exit 0 only when
+    every phase is clean."""
     from .injection import enumerate_points
+    from .snapshot import SNAPSHOT_MUTANTS
     from .verify import (
         MUTANTS,
+        fork_equivalence,
         record_run,
         replay_run,
         run_conformance,
@@ -550,13 +561,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     if args.list_mutants:
         rows = [[m.name, ", ".join(m.detected_by), m.description] for m in MUTANTS.values()]
+        rows += [[m.name, m.detected_by, m.description] for m in SNAPSHOT_MUTANTS.values()]
         print(render_table(["mutant", "detected by", "description"], rows, title="seeded mutants"))
         return 0
-    if args.mutant is not None and args.mutant not in MUTANTS:
-        print(
-            f"unknown mutant {args.mutant!r}; choices: {', '.join(sorted(MUTANTS))}",
-            file=sys.stderr,
-        )
+    if args.mutant is not None and args.mutant not in MUTANTS and args.mutant not in SNAPSHOT_MUTANTS:
+        choices = ", ".join(sorted(MUTANTS) + sorted(SNAPSHOT_MUTANTS))
+        print(f"unknown mutant {args.mutant!r}; choices: {choices}", file=sys.stderr)
         return 2
 
     summary: dict = {"ok": True, "phases": {}}
@@ -564,6 +574,25 @@ def cmd_verify(args: argparse.Namespace) -> int:
     def phase(name: str, ok: bool, payload: dict) -> None:
         summary["phases"][name] = {"ok": ok, **payload}
         summary["ok"] = summary["ok"] and ok
+
+    # A snapshot mutant routes straight to the fork-equivalence oracle
+    # (phase 5): the other phases never touch the snapshot engine and
+    # could not possibly observe the defect.
+    if args.mutant in SNAPSHOT_MUTANTS:
+        report = fork_equivalence(
+            make_app(args.app, args.problem_class),
+            seed=args.seed, tests_per_point=args.tests,
+            max_points=args.max_points, mutant=args.mutant,
+        )
+        phase("snapshot", report.ok, {
+            "mutant": args.mutant, "detected": not report.identical,
+            "points": report.n_points, "tests": report.n_tests,
+        })
+        if args.json:
+            print(json.dumps(summary, sort_keys=True))
+        else:
+            print(report.describe())
+        return 0 if summary["ok"] else 1
 
     # 1. differential conformance (optionally with a seeded mutant, in
     # which case the harness is expected to FAIL — see --mutant help).
@@ -637,6 +666,22 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 f"campaign: {args.app}/T {len(points)} points × {args.tests} tests, "
                 f"serial vs --jobs 2: " + ("bit-identical" if ok else "DIVERGED")
             )
+
+    # 5. snapshot fork-equivalence: tests served by forking a parked
+    # fault-free prefix must fingerprint identically to full replays.
+    if not args.skip_snapshot and args.mutant is None:
+        report = fork_equivalence(
+            make_app(args.app, args.problem_class),
+            seed=args.seed, tests_per_point=args.tests,
+            max_points=args.max_points,
+        )
+        phase("snapshot", report.ok, {
+            "app": args.app, "points": report.n_points,
+            "tests": report.n_tests, "identical": report.identical,
+            "mismatches": report.mismatches[:10],
+        })
+        if not args.json:
+            print(report.describe())
 
     if args.json:
         print(json.dumps(summary, sort_keys=True))
@@ -980,7 +1025,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "verify",
         help="verification suite: conformance fuzzing, sanitizers, replay, "
-        "campaign determinism",
+        "campaign determinism, snapshot fork-equivalence",
         parents=[verbosity],
     )
     p.add_argument("--seed", type=int, default=0)
@@ -1005,6 +1050,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--skip-campaign", action="store_true",
         help="skip the serial-vs-parallel campaign determinism check",
+    )
+    p.add_argument(
+        "--skip-snapshot", action="store_true",
+        help="skip the snapshot fork-equivalence check",
     )
     p.add_argument(
         "--app", default="lu", choices=sorted(APPLICATIONS),

@@ -55,37 +55,55 @@ def campaign_digest(
     points: list[InjectionPoint],
     algorithms: dict[str, str] | None = None,
     code_version: str = __version__,
+    layout: str = "p1",
 ) -> str:
-    """Hash of everything the campaign's results are a function of."""
-    payload = json.dumps(
-        {
-            "app": app.name,
-            "params": {k: repr(v) for k, v in sorted(app.params.items())},
-            "nranks": app.nranks,
-            "seed": seed,
-            "tests_per_point": tests_per_point,
-            "param_policy": param_policy,
-            "unit_tests": unit_tests,
-            "points": [
-                [p.rank, p.collective, p.site, p.invocation] for p in points
-            ],
-            "algorithms": dict(sorted((algorithms or {}).items())),
-            "code_version": code_version,
-        },
-        sort_keys=True,
-    )
+    """Hash of everything the campaign's results are a function of.
+
+    ``layout`` is the unit-layout version tag
+    (:data:`repro.exec.sharding.LAYOUTS`).  The classic point-major
+    layout (``"p1"``) is deliberately omitted from the payload so every
+    digest computed before the tag existed stays byte-identical —
+    pre-existing checkpoints keep resuming.
+    """
+    fields = {
+        "app": app.name,
+        "params": {k: repr(v) for k, v in sorted(app.params.items())},
+        "nranks": app.nranks,
+        "seed": seed,
+        "tests_per_point": tests_per_point,
+        "param_policy": param_policy,
+        "unit_tests": unit_tests,
+        "points": [
+            [p.rank, p.collective, p.site, p.invocation] for p in points
+        ],
+        "algorithms": dict(sorted((algorithms or {}).items())),
+        "code_version": code_version,
+    }
+    if layout != "p1":
+        fields["layout"] = layout
+    payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
 class CheckpointStore:
     """Completed-unit persistence for one campaign run."""
 
-    def __init__(self, directory: str | os.PathLike, digest: str, flush_every: int = 1):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        digest: str,
+        flush_every: int = 1,
+        layout: str = "p1",
+    ):
         self.directory = Path(directory)
         self.digest = digest
         if flush_every < 1:
             raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.flush_every = flush_every
+        #: Unit-layout version tag recorded in the stream header; a
+        #: layout change alters the digest, and the header lets the
+        #: mismatch message say *why* instead of just "different".
+        self.layout = layout
         self.completed: dict[str, tuple[list[TestResult], MetricsRegistry | None]] = {}
         self._fh = None
         self._since_manifest = 0
@@ -120,10 +138,24 @@ class CheckpointStore:
                 if header is not None:
                     found = header.get("digest") if isinstance(header, dict) else None
                     if found != self.digest:
+                        found_layout = (
+                            header.get("layout", "p1")
+                            if isinstance(header, dict)
+                            else "p1"
+                        )
+                        hint = "delete it or run without --resume"
+                        if found_layout != self.layout:
+                            hint = (
+                                f"it was written with unit layout "
+                                f"{found_layout!r}, this run uses "
+                                f"{self.layout!r} (the --snapshot/--no-snapshot "
+                                "setting selects the layout) — rerun with the "
+                                "original setting, or delete the checkpoint"
+                            )
                         raise CheckpointMismatch(
                             f"checkpoint in {self.directory} belongs to a different "
                             f"campaign (digest {found!r}, expected {self.digest!r}); "
-                            "delete it or run without --resume"
+                            + hint
                         )
                     while True:
                         try:
@@ -140,7 +172,10 @@ class CheckpointStore:
             self._fh = self.units_path.open("ab")
         else:
             self._fh = self.units_path.open("wb")
-            pickle.dump({"digest": self.digest, "format": 1}, self._fh)
+            pickle.dump(
+                {"digest": self.digest, "format": 1, "layout": self.layout},
+                self._fh,
+            )
             self._sync_stream()
         return self.completed
 

@@ -102,6 +102,7 @@ class ParallelCampaign:
         quarantine: bool = True,
         tracer: "Tracer | None" = None,
         progress_sinks: Sequence | None = None,
+        snapshot: bool = True,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -131,6 +132,11 @@ class ParallelCampaign:
             quarantine=quarantine,
         )
         self.tracer = tracer
+        #: Snapshot-and-fork serving in the workers (:mod:`repro.snapshot`).
+        #: Also selects the unit layout: with no explicit ``unit_tests``,
+        #: snapshot campaigns use the site-major ``"s1"`` layout (one
+        #: prefix park per point, site-adjacent ordering).
+        self.snapshot = snapshot
         #: Unit ids given up on during the last :meth:`run` (their tests
         #: carry synthetic ``TOOL_ERROR`` verdicts).
         self.quarantined: list[str] = []
@@ -156,6 +162,7 @@ class ParallelCampaign:
             quarantine=campaign.quarantine,
             tracer=campaign.tracer,
             progress_sinks=campaign.progress_sinks,
+            snapshot=campaign.snapshot,
         )
 
     # -- quarantine synthesis ------------------------------------------
@@ -193,12 +200,21 @@ class ParallelCampaign:
         from ..injection.campaign import CampaignResult, PointResult
 
         points = list(points)
-        unit_tests = (
-            self.unit_tests
-            if self.unit_tests is not None
-            else default_unit_tests(self.tests_per_point)
+        # Site-major layout only when the snapshot engine will serve the
+        # units and the caller did not pin an explicit unit size.
+        layout = "s1" if (self.snapshot and self.unit_tests is None) else "p1"
+        if layout == "s1":
+            unit_tests = max(1, self.tests_per_point)
+        else:
+            unit_tests = (
+                self.unit_tests
+                if self.unit_tests is not None
+                else default_unit_tests(self.tests_per_point)
+            )
+        units = make_units(
+            len(points), self.tests_per_point, unit_tests,
+            points=points, layout=layout,
         )
-        units = make_units(len(points), self.tests_per_point, unit_tests)
         total_tests = len(points) * self.tests_per_point
         self.quarantined = []
 
@@ -213,6 +229,7 @@ class ParallelCampaign:
                 unit_tests,
                 points,
                 algorithms=self.algorithms,
+                layout=layout,
             )
             if self.db_path is not None:
                 # Lazy import: repro.store depends on repro.exec.sharding.
@@ -236,7 +253,8 @@ class ParallelCampaign:
                 )
             else:
                 store = CheckpointStore(
-                    self.checkpoint_dir, digest, flush_every=self.checkpoint_every
+                    self.checkpoint_dir, digest,
+                    flush_every=self.checkpoint_every, layout=layout,
                 )
             for unit_id, (tests, registry) in store.load(resume=self.resume).items():
                 results[unit_id] = tests
@@ -321,13 +339,15 @@ class ParallelCampaign:
             if pending:
                 if self.jobs == 1:
                     state = WorkerState(
-                        self.app, self.profile, self.param_policy, self.seed, self.algorithms
+                        self.app, self.profile, self.param_policy, self.seed,
+                        self.algorithms, self.snapshot,
                     )
                     for unit in pending:
                         complete(*state.execute(unit, points[unit.point_index]))
                 else:
                     payload = pickle.dumps(
-                        (self.app, self.profile, self.param_policy, self.seed, self.algorithms),
+                        (self.app, self.profile, self.param_policy, self.seed,
+                         self.algorithms, self.snapshot),
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )
                     tasks = [(u, points[u.point_index]) for u in pending]

@@ -2,16 +2,35 @@
 
 A *work unit* is a contiguous slice of test indices at one injection
 point: ``(point_index, test_start, test_stop)``.  The unit layout is a
-pure function of ``(n_points, tests_per_point, unit_tests)`` — it never
-depends on the worker count — so checkpoints written by a 4-worker run
-resume cleanly under 1 worker and vice versa, and unit ids are stable
-keys for the checkpoint store.
+pure function of ``(n_points, tests_per_point, unit_tests, layout)`` —
+it never depends on the worker count — so checkpoints written by a
+4-worker run resume cleanly under 1 worker and vice versa, and unit ids
+are stable keys for the checkpoint store.
+
+Two layouts exist, named by a version tag that participates in the
+campaign digest (:func:`repro.exec.checkpoint.campaign_digest`):
+
+* ``"p1"`` — classic point-major: each point is cut into
+  ``UNITS_PER_POINT`` slices, enumerated in point order.  Best when
+  tests are independent full replays (``--no-snapshot``).
+* ``"s1"`` — site-major: one unit carries *all* tests of its point, and
+  units are ordered by ``(site_key, point_index)`` so every invocation
+  of one static call site is served consecutively.  This is the layout
+  the snapshot-and-fork engine (:mod:`repro.snapshot`) wants: the
+  fault-free prefix is parked once per unit and amortised over the
+  whole test batch, and consecutive units share prefix structure.
+
+Unit *ids* are layout-independent (``p<i>:t<a>-<b>``); only the slicing
+and ordering differ, which is why the tag must be part of the digest —
+resuming a ``p1`` checkpoint under ``s1`` would silently mix unit
+geometries.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from typing import Sequence
 
 _UNIT_ID_RE = re.compile(r"p(\d+):t(\d+)-(\d+)\Z")
 
@@ -61,20 +80,49 @@ def default_unit_tests(tests_per_point: int) -> int:
     return max(1, -(-tests_per_point // UNITS_PER_POINT))
 
 
+#: Recognised unit-layout version tags (see module docstring).
+LAYOUTS = ("p1", "s1")
+
+
 def make_units(
-    n_points: int, tests_per_point: int, unit_tests: int | None = None
+    n_points: int,
+    tests_per_point: int,
+    unit_tests: int | None = None,
+    *,
+    points: Sequence | None = None,
+    layout: str = "p1",
 ) -> list[WorkUnit]:
-    """Enumerate the campaign's work units in canonical order."""
+    """Enumerate the campaign's work units in canonical order.
+
+    ``layout="s1"`` (site-major) requires the point list itself: units
+    are ordered by each point's ``site_key`` so all invocations of one
+    call site run consecutively, and ``unit_tests`` defaults to
+    ``tests_per_point`` (one prefix park serves the whole point).
+    """
     if n_points < 0:
         raise ValueError(f"n_points must be >= 0, got {n_points}")
     if tests_per_point < 0:
         raise ValueError(f"tests_per_point must be >= 0, got {tests_per_point}")
+    if layout not in LAYOUTS:
+        raise ValueError(f"unknown unit layout {layout!r}; known: {LAYOUTS}")
+    if layout == "s1":
+        if points is None:
+            raise ValueError("layout='s1' requires the points sequence")
+        if len(points) != n_points:
+            raise ValueError(
+                f"points sequence has {len(points)} entries, expected {n_points}"
+            )
+        if unit_tests is None:
+            unit_tests = max(1, tests_per_point)
     if unit_tests is None:
         unit_tests = default_unit_tests(tests_per_point)
     if unit_tests < 1:
         raise ValueError(f"unit_tests must be >= 1, got {unit_tests}")
+    order = range(n_points)
+    if layout == "s1":
+        order = sorted(order, key=lambda pi: (points[pi].site_key, pi))
     units: list[WorkUnit] = []
-    for pi in range(n_points):
+    for pi in order:
         for start in range(0, tests_per_point, unit_tests):
             units.append(WorkUnit(pi, start, min(start + unit_tests, tests_per_point)))
     return units

@@ -136,6 +136,7 @@ class WorkerState:
         param_policy: str,
         seed: int,
         algorithms: dict[str, str] | None,
+        snapshot: bool = True,
     ):
         self.app = app
         self.param_policy = param_policy
@@ -143,6 +144,12 @@ class WorkerState:
         # The profile arrives pickled; the runner derives its hang budget
         # from it without re-running the golden job.
         self.runner = InjectionRunner(app, profile, algorithms=algorithms)
+        self.engine = None
+        if snapshot:
+            # Lazy import: repro.snapshot depends on repro.injection.
+            from ..snapshot import SnapshotEngine
+
+            self.engine = SnapshotEngine(self.runner)
 
     def execute(
         self, unit: WorkUnit, point: InjectionPoint
@@ -151,13 +158,18 @@ class WorkerState:
         registry = MetricsRegistry()
         tests: list[TestResult] = []
         with registry.time("exec.unit_s"):
+            tasks: list[tuple[FaultSpec, np.random.Generator]] = []
             for t in range(unit.test_start, unit.test_stop):
                 seq = np.random.SeedSequence(
                     entropy=self.seed, spawn_key=(unit.point_index, t)
                 )
                 rng = np.random.default_rng(seq)
                 param = pick_target(rng, point.collective, self.param_policy)
-                tests.append(self.runner.run_one(FaultSpec(point, param, None), rng))
+                tasks.append((FaultSpec(point, param, None), rng))
+            if self.engine is not None:
+                tests = self.engine.serve_point(point, tasks, metrics=registry)
+            else:
+                tests = [self.runner.run_one(spec, rng) for spec, rng in tasks]
         registry.counter("campaign.tests").inc(len(tests))
         for test in tests:
             registry.counter(f"campaign.outcome.{test.outcome.name}").inc()

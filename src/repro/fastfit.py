@@ -131,6 +131,7 @@ class FastFIT:
         progress_sinks=None,
         progress_every: int = 1,
         static_prune: bool = False,
+        snapshot: bool = True,
     ):
         self.app = app
         self.seed = seed
@@ -163,6 +164,9 @@ class FastFIT:
         #: Skip tests whose outcome the static pre-classifier proves
         #: (serial in-memory campaigns only; see :mod:`repro.analyze`).
         self.static_prune = static_prune
+        #: Snapshot-and-fork serving (:mod:`repro.snapshot`): amortise
+        #: the fault-free prefix across every test at an injection point.
+        self.snapshot = snapshot
         self._profile: ApplicationProfile | None = None
         self._pruning: PruningReport | None = None
         self._preclassifier = None
@@ -255,6 +259,7 @@ class FastFIT:
             progress_sinks=self.progress_sinks,
             progress_every=self.progress_every,
             preclassifier=self.preclassifier() if self.static_prune else None,
+            snapshot=self.snapshot,
         )
         logger.info(
             "campaign: %d points x %d tests (%d jobs)",

@@ -267,6 +267,7 @@ class Campaign:
         tracer=None,
         progress_sinks=None,
         preclassifier=None,
+        snapshot: bool = True,
     ):
         self.app = app
         self.profile = profile
@@ -317,7 +318,14 @@ class Campaign:
         #: Optional :class:`repro.analyze.PreClassifier`; tests it
         #: proves are recorded as ``predicted`` results without running.
         self.preclassifier = preclassifier
+        #: Snapshot-and-fork serving (:mod:`repro.snapshot`): run the
+        #: fault-free prefix once per point and fork every test from the
+        #: parked state.  Results are bit-identical either way; ``False``
+        #: forces classic full replays (also selects the point-major unit
+        #: layout when parallel).
+        self.snapshot = snapshot
         self.runner = InjectionRunner(app, profile, algorithms=algorithms)
+        self._engine = None
 
     def _rng_for(self, point_index: int, test_index: int) -> np.random.Generator:
         seq = np.random.SeedSequence(
@@ -325,27 +333,59 @@ class Campaign:
         )
         return np.random.default_rng(seq)
 
+    def _snapshot_engine(self):
+        """Lazy per-campaign :class:`~repro.snapshot.SnapshotEngine`."""
+        if self._engine is None:
+            from ..snapshot import SnapshotEngine
+
+            self._engine = SnapshotEngine(self.runner, metrics=self.metrics)
+        return self._engine
+
     def run_point(self, point: InjectionPoint, point_index: int = 0) -> PointResult:
         """All tests for one injection point."""
         pr = PointResult(point)
+        #: ``(slot, TestResult)`` for statically predicted tests and
+        #: ``(slot, (spec, rng))`` for tests that must execute, so engine
+        #: and scratch paths reassemble identical test order.
+        predicted: list[tuple[int, TestResult]] = []
+        tasks: list[tuple[FaultSpec, np.random.Generator]] = []
         for t in range(self.tests_per_point):
             if self.preclassifier is not None:
                 prediction = self.preclassifier.predict(point, point_index, t)
                 if prediction is not None:
-                    pr.add(
-                        TestResult(
-                            FaultSpec(point, prediction.param, prediction.bit),
-                            prediction.outcome,
-                            None,
-                            detail=f"static: {prediction.rule} — {prediction.detail}",
-                            predicted=True,
+                    predicted.append(
+                        (
+                            t,
+                            TestResult(
+                                FaultSpec(point, prediction.param, prediction.bit),
+                                prediction.outcome,
+                                None,
+                                detail=f"static: {prediction.rule} — {prediction.detail}",
+                                predicted=True,
+                            ),
                         )
                     )
                     continue
             rng = self._rng_for(point_index, t)
             param = pick_target(rng, point.collective, self.param_policy)
-            spec = FaultSpec(point, param, None)
-            pr.add(self.runner.run_one(spec, rng))
+            tasks.append((FaultSpec(point, param, None), rng))
+        if self.snapshot and tasks:
+            executed = self._snapshot_engine().serve_point(point, tasks)
+        else:
+            executed = [self.runner.run_one(spec, rng) for spec, rng in tasks]
+        # Weave predicted results back into their original slots.
+        merged: list[TestResult] = []
+        pred_iter = iter(predicted)
+        next_pred = next(pred_iter, None)
+        exec_iter = iter(executed)
+        for t in range(self.tests_per_point):
+            if next_pred is not None and next_pred[0] == t:
+                merged.append(next_pred[1])
+                next_pred = next(pred_iter, None)
+            else:
+                merged.append(next(exec_iter))
+        for test in merged:
+            pr.add(test)
         if self.metrics is not None:
             self.metrics.counter("campaign.tests").inc(pr.n_tests)
             predicted = sum(1 for t in pr.tests if t.predicted)

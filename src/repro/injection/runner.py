@@ -111,12 +111,7 @@ class InjectionRunner:
                 )
         except SimMPIError as exc:
             self.last_exception = exc
-            return TestResult(
-                spec,
-                classify_exception(exc),
-                injector.record,
-                detail=failure_detail(exc, injector.record),
-            )
+            return self.classify_error(spec, injector, exc)
         except Exception as exc:
             # Last-resort containment: the *harness* failed, not the
             # simulated application — a MemoryError, RecursionError, or
@@ -125,24 +120,49 @@ class InjectionRunner:
             # instead of propagating; KeyboardInterrupt/SystemExit still
             # pass through so the campaign driver can shut down cleanly.
             self.last_exception = None
-            return TestResult(
-                spec,
-                Outcome.TOOL_ERROR,
-                injector.record,
-                detail=harness_failure_detail(exc, injector.record),
-            )
+            return self.classify_harness_error(spec, injector, exc)
 
+        return self.classify_completion(spec, injector, result.results)
+
+    # -- classification -----------------------------------------------
+    #
+    # Shared between run_one and the snapshot-and-fork engine
+    # (repro.snapshot): a forked child classifies its own continuation
+    # with exactly these rules, so forked and from-scratch TestResults
+    # are constructed from identical code paths.
+
+    def classify_error(
+        self, spec: FaultSpec, injector: FaultInjector, exc: SimMPIError
+    ) -> TestResult:
+        """Classify a run aborted by a simulated-MPI error."""
+        return TestResult(
+            spec,
+            classify_exception(exc),
+            injector.record,
+            detail=failure_detail(exc, injector.record),
+        )
+
+    def classify_harness_error(
+        self, spec: FaultSpec, injector: FaultInjector, exc: Exception
+    ) -> TestResult:
+        """Classify a harness failure (contained as ``TOOL_ERROR``)."""
+        return TestResult(
+            spec,
+            Outcome.TOOL_ERROR,
+            injector.record,
+            detail=harness_failure_detail(exc, injector.record),
+        )
+
+    def classify_completion(
+        self, spec: FaultSpec, injector: FaultInjector, results: list
+    ) -> TestResult:
+        """Classify a run that completed: golden comparison."""
         try:
-            matches = self.app.compare(self.golden_results, result.results)
+            matches = self.app.compare(self.golden_results, results)
         except Exception as exc:
             # The golden comparison choked on corrupted results — still a
             # harness fault, contained the same way as a crashed run.
-            return TestResult(
-                spec,
-                Outcome.TOOL_ERROR,
-                injector.record,
-                detail=harness_failure_detail(exc, injector.record),
-            )
+            return self.classify_harness_error(spec, injector, exc)
         if matches:
             return TestResult(spec, Outcome.SUCCESS, injector.record)
         detail = "wrong answer: result signature differs from golden run"

@@ -41,6 +41,11 @@ class ProgressSnapshot:
     worker_deaths: int = 0
     retries: int = 0
     quarantined: int = 0
+    #: Snapshot-and-fork engine telemetry (zero when --no-snapshot).
+    snapshot_hits: int = 0
+    snapshot_misses: int = 0
+    snapshot_bytes: int = 0
+    snapshot_fastforward_s: float = 0.0
 
     @property
     def fraction(self) -> float:
@@ -160,6 +165,16 @@ class ProgressTracker:
             return 0
         return self.metrics.counter(name).value
 
+    def _gauge(self, name: str) -> int:
+        if self.metrics is None:
+            return 0
+        return int(self.metrics.gauge(name).value)
+
+    def _timer_total(self, name: str) -> float:
+        if self.metrics is None:
+            return 0.0
+        return self.metrics.timer(name).total
+
     def snapshot(self) -> ProgressSnapshot:
         elapsed = time.monotonic() - self._start
         rate = self._fresh_tests / elapsed if elapsed > 0 else 0.0
@@ -181,6 +196,10 @@ class ProgressTracker:
             worker_deaths=self._counter("exec.worker_deaths"),
             retries=self._counter("exec.retries"),
             quarantined=self._quarantined,
+            snapshot_hits=self._counter("snapshot.hits"),
+            snapshot_misses=self._counter("snapshot.misses"),
+            snapshot_bytes=self._gauge("snapshot.bytes"),
+            snapshot_fastforward_s=self._timer_total("snapshot.fastforward_s"),
         )
 
     def _emit(self) -> None:

@@ -127,7 +127,33 @@ def _summary_section(db: CampaignDB, c: sqlite3.Row) -> str:
         if name in hist or name in {o.name for o in OUTCOME_ORDER}
     ]
     histogram = table(("outcome", "tests", "fraction"), rows, numeric=(1,))
-    return section("summary", "Summary", config + histogram)
+    return section(
+        "summary", "Summary", config + histogram + _snapshot_engine_summary(db, c)
+    )
+
+
+def _snapshot_engine_summary(db: CampaignDB, c: sqlite3.Row) -> str:
+    """One-line snapshot-and-fork telemetry (empty when --no-snapshot or
+    no final metrics were stored)."""
+    metrics = db.metrics_snapshot(c["id"], "final")
+    if not metrics:
+        return ""
+    counters = metrics.get("counters", {})
+    forks = counters.get("snapshot.forks", 0)
+    fallbacks = counters.get("snapshot.fallback_tests", 0)
+    if not forks and not fallbacks:
+        return ""
+    hits = counters.get("snapshot.hits", 0)
+    misses = counters.get("snapshot.misses", 0)
+    nbytes = metrics.get("gauges", {}).get("snapshot.bytes", 0)
+    ff_s = metrics.get("timers", {}).get("snapshot.fastforward_s", {}).get("total", 0.0)
+    return (
+        '<p class="muted">snapshot engine: '
+        f"{forks} forked tests, {fallbacks} full replays, "
+        f"{hits} snapshot hits / {misses} misses, "
+        f"{nbytes / (1 << 20):.1f} MiB cached, "
+        f"{ff_s:.3f}s fast-forwarding</p>"
+    )
 
 
 def _timeline_section(db: CampaignDB, c: sqlite3.Row) -> str:

@@ -23,6 +23,17 @@ class SimMPIError(Exception):
     """Base class for every error raised by the simulated runtime."""
 
 
+class SchedulerInterrupt(BaseException):
+    """Deliberate control-flow escape out of a running scheduler.
+
+    Derives from :class:`BaseException` so application-level handlers
+    never swallow it, and the scheduler's fiber trampoline re-raises it
+    unwrapped (a fiber raising it is *not* a crash).  Used by the
+    snapshot engine (:mod:`repro.snapshot`) to abandon a parked parent
+    job after every forked test has been served.
+    """
+
+
 class MPIError(SimMPIError):
     """The simulated MPI library detected an error (``MPI_ERR``).
 

@@ -133,11 +133,15 @@ class SimMPI:
         self.world, self.world_handle = self.comm_factory.world(nranks)
         self._used = False
 
-    def run(self, app_fn: AppFn, instruments: Sequence[Instrument] = ()) -> RunResult:
-        """Execute ``app_fn`` on every rank and return the results.
+    def prepare(
+        self, app_fn: AppFn, instruments: Sequence[Instrument] = ()
+    ) -> tuple[list[Context], list[Fiber], Scheduler]:
+        """Build the per-rank contexts, fibers, and scheduler for a run.
 
-        Raises whatever error aborts the job (see
-        :mod:`repro.simmpi.errors`); runtimes are single-use.
+        Split out of :meth:`run` so the snapshot engine
+        (:mod:`repro.snapshot`) can instrument fibers and prime the
+        scheduler from a restored state before driving them; consumes
+        the runtime's single use.
         """
         if self._used:
             raise RuntimeError("SimMPI runtimes are single-use; create a fresh one per run")
@@ -151,7 +155,12 @@ class SimMPI:
             comm_lookup=self.comm_factory.context_map,
             recorder=self.recorder,
         )
-        results = scheduler.run()
+        return contexts, fibers, scheduler
+
+    def finish(
+        self, scheduler: Scheduler, contexts: list[Context], results: list[Any]
+    ) -> RunResult:
+        """Teardown sweep + result assembly for a completed run."""
         if self.sanitizer is not None:
             # Teardown sweep: a clean finish may still have leaked
             # messages in the match space or unwaited requests.
@@ -163,6 +172,16 @@ class SimMPI:
             contexts=contexts,
             sanitizer=self.sanitizer,
         )
+
+    def run(self, app_fn: AppFn, instruments: Sequence[Instrument] = ()) -> RunResult:
+        """Execute ``app_fn`` on every rank and return the results.
+
+        Raises whatever error aborts the job (see
+        :mod:`repro.simmpi.errors`); runtimes are single-use.
+        """
+        contexts, fibers, scheduler = self.prepare(app_fn, instruments)
+        results = scheduler.run()
+        return self.finish(scheduler, contexts, results)
 
 
 def run_app(

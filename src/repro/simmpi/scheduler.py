@@ -23,7 +23,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable
 
-from .errors import DeadlockError, FiberCrashed, SimMPIError, StepBudgetExceeded
+from .errors import (
+    DeadlockError,
+    FiberCrashed,
+    SchedulerInterrupt,
+    SimMPIError,
+    StepBudgetExceeded,
+)
 from .fiber import Fiber, FiberState, Progress, Recv, Send
 
 #: Default event budget per run.  Fault-free workloads in this repository
@@ -79,6 +85,22 @@ class Scheduler:
         self.mailbox: dict[MatchKey, deque[bytes]] = {}
         #: Fibers blocked on a receive: match key -> fiber.
         self.waiting: dict[MatchKey, Fiber] = {}
+        #: When set (via :meth:`prime`), the next :meth:`run` starts from
+        #: this ready queue instead of all fibers in rank order — the
+        #: snapshot fast-forward restore path (:mod:`repro.snapshot`).
+        self._resume_ready: list[Fiber] | None = None
+
+    def prime(self, ready: list[Fiber], steps: int = 0) -> None:
+        """Arm the next :meth:`run` to resume from a restored mid-run state.
+
+        ``ready`` is the exact ready-queue content (in order); ``steps``
+        seeds the event counter so the remaining budget matches the run
+        being resumed.  The caller is responsible for restoring
+        ``mailbox``/``waiting`` and each fiber's state/``resume_value``
+        to a consistent snapshot before calling :meth:`run`.
+        """
+        self._resume_ready = list(ready)
+        self.steps = steps
 
     # -- syscall handling --------------------------------------------
 
@@ -180,7 +202,11 @@ class Scheduler:
         goes through :meth:`_handle_send` so subclasses can intercept
         message traffic.
         """
-        ready = self._ready = deque(self.fibers)
+        if self._resume_ready is None:
+            ready = self._ready = deque(self.fibers)
+        else:
+            ready = self._ready = deque(self._resume_ready)
+            self._resume_ready = None
         waiting = self.waiting
         tracer = self.tracer
         recorder = self.recorder
@@ -209,6 +235,10 @@ class Scheduler:
                     continue
                 except SimMPIError:
                     fiber.state = FAILED
+                    raise
+                except SchedulerInterrupt:
+                    # Deliberate unwind (snapshot engine): not a crash,
+                    # propagate unwrapped.
                     raise
                 except BaseException as exc:
                     fiber.state = FAILED

@@ -14,6 +14,10 @@ compatible:
 * :mod:`repro.verify.mutants` — seeded defects proving the harness has
   teeth (a verifier that cannot fail a broken simulator verifies
   nothing);
+* :mod:`repro.verify.snapshot_check` — the fork-equivalence oracle for
+  the snapshot-and-fork engine (forked test streams must fingerprint
+  identically to from-scratch replays; seeded engine mutants must be
+  caught);
 * sanitizers live in :mod:`repro.simmpi.sanitize` (they are wired
   through the runtime) and are re-exported here.
 """
@@ -29,8 +33,10 @@ from .conformance import (
 from .mutants import MUTANTS, seeded_mutant
 from .replay import ReplayLog, ReplayReport, record_run, replay_run
 from .sanitize_sweep import SweepResult, sanitize_sweep
+from .snapshot_check import ForkEquivalenceReport, fork_equivalence
 
 __all__ = [
+    "ForkEquivalenceReport",
     "CaseFailure",
     "CollectiveReport",
     "ConformanceReport",
@@ -42,6 +48,7 @@ __all__ = [
     "SanitizerViolation",
     "SweepResult",
     "Violation",
+    "fork_equivalence",
     "record_run",
     "replay_run",
     "run_conformance",

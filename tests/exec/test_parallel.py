@@ -127,8 +127,9 @@ class TestResume:
         counters = second.to_dict()["counters"]
         # The resumed run replayed the persisted units instead of re-running.
         assert counters["exec.units_resumed"] >= units_before_crash
-        # 4 points x 3 units each (6 tests in units of 2).
-        assert counters["exec.units"] + counters["exec.units_resumed"] == 12
+        # Site-major layout (snapshot serving, the default): one unit per
+        # point carrying all 6 tests.
+        assert counters["exec.units"] + counters["exec.units_resumed"] == 4
         # Merged metrics still add up to the full campaign.
         assert counters["campaign.tests"] == 4 * 6
 
@@ -152,9 +153,11 @@ class TestResume:
             engine.run(lu_points)
 
         # Resume under a different worker count — unit layout is stable.
-        resumed = Campaign(
+        # (Same explicit unit_tests: that selects the classic p1 layout,
+        # and the digest covers it.)
+        resumed = ParallelCampaign(
             lu_app, lu_profile, tests_per_point=6, param_policy="all", seed=11,
-            jobs=4, checkpoint_dir=ckdir, resume=True,
+            jobs=4, checkpoint_dir=ckdir, unit_tests=2, resume=True,
         ).run(lu_points)
         assert campaign_signature(resumed) == campaign_signature(serial_result)
 

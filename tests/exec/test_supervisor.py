@@ -57,6 +57,10 @@ def _engine(lu_app, lu_profile, **kwargs):
     kwargs.setdefault("param_policy", "all")
     kwargs.setdefault("seed", 11)
     kwargs.setdefault("jobs", 2)
+    # Explicit unit_tests pins the classic point-major layout so the
+    # FASTFIT_CHAOS_UNITS ids below stay stable regardless of the
+    # snapshot default (which would otherwise select site-major units).
+    kwargs.setdefault("unit_tests", 2)
     return ParallelCampaign(lu_app, lu_profile, **kwargs)
 
 

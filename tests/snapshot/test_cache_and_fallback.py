@@ -1,0 +1,168 @@
+"""Snapshot cache bounds and the engine's full-replay fallbacks.
+
+The LRU cache is byte-budgeted (arena copies dominate), and every path
+the fork engine cannot serve must degrade to a plain ``run_one`` replay
+with the correct telemetry — never a wrong result.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.injection import enumerate_points
+from repro.injection.runner import InjectionRunner
+from repro.injection.space import FaultSpec, InjectionPoint
+from repro.injection.targets import pick_target
+from repro.obs.metrics import MetricsRegistry
+from repro.snapshot import SnapshotCache, SnapshotEngine, snapshot_supported
+from repro.snapshot.snapshot import SimSnapshot
+
+pytestmark = pytest.mark.skipif(
+    not snapshot_supported(), reason="snapshot-and-fork needs os.fork"
+)
+
+
+def _fake_snapshot(point, size):
+    return SimSnapshot(
+        point=point,
+        nranks=1,
+        arenas=(bytes(size),),
+        brks=(0,),
+        seg_counts=(0,),
+        mailbox={},
+        waiting={},
+        ready_ranks=(0,),
+        steps=0,
+        fibers=(),
+        inbound=((),),
+        target_pending=None,
+    )
+
+
+def _point(i):
+    return InjectionPoint(0, "Allreduce", f"site.py:{i}", 0)
+
+
+class TestSnapshotCacheLRU:
+    def test_eviction_under_byte_budget(self):
+        cache = SnapshotCache(max_bytes=250)
+        for i in range(3):
+            cache.put(_point(i), _fake_snapshot(_point(i), 100))
+        # Third insert exceeds 250 bytes: the least recent entry goes.
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert _point(0) not in cache
+        assert _point(1) in cache and _point(2) in cache
+        assert cache.nbytes == 200
+
+    def test_get_refreshes_recency(self):
+        cache = SnapshotCache(max_bytes=250)
+        cache.put(_point(0), _fake_snapshot(_point(0), 100))
+        cache.put(_point(1), _fake_snapshot(_point(1), 100))
+        assert cache.get(_point(0)) is not None  # 0 becomes most recent
+        cache.put(_point(2), _fake_snapshot(_point(2), 100))
+        assert _point(1) not in cache
+        assert _point(0) in cache
+
+    def test_oversized_snapshot_not_retained(self):
+        cache = SnapshotCache(max_bytes=50)
+        cache.put(_point(0), _fake_snapshot(_point(0), 100))
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+
+    def test_pop_releases_bytes(self):
+        cache = SnapshotCache(max_bytes=1000)
+        cache.put(_point(0), _fake_snapshot(_point(0), 100))
+        cache.pop(_point(0))
+        assert cache.nbytes == 0
+        assert _point(0) not in cache
+
+
+@pytest.fixture(scope="module")
+def runner(lu_app, lu_profile):
+    return InjectionRunner(lu_app, lu_profile)
+
+
+@pytest.fixture(scope="module")
+def late_point(lu_profile):
+    points = enumerate_points(lu_profile)
+    return max(points, key=lambda p: p.invocation)
+
+
+def _tasks(point, n=3, seed=5):
+    tasks = []
+    for t in range(n):
+        rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(t,)))
+        tasks.append((FaultSpec(point, pick_target(rng, point.collective, "buffer"), None), rng))
+    return tasks
+
+
+def _scratch(runner, point, n=3, seed=5):
+    return [runner.run_one(spec, rng) for spec, rng in _tasks(point, n, seed)]
+
+
+def _sig(tests):
+    return [
+        (repr(t.spec.point), t.spec.param, t.spec.bit, t.outcome.name, t.detail)
+        for t in tests
+    ]
+
+
+class TestEngineFallbacks:
+    def test_ff_divergence_falls_back_to_fresh_prefix(self, runner, late_point):
+        """Tamper with the cached snapshot: the byte-exact re-park check
+        must catch it, drop the entry, and re-serve from t=0 — with the
+        stream still identical to scratch."""
+        m = MetricsRegistry()
+        engine = SnapshotEngine(runner, metrics=m)
+        first = engine.serve_point(late_point, _tasks(late_point))
+        snap = engine.cache.get(late_point)
+        assert snap is not None
+        bad = bytearray(snap.arenas[0])
+        bad[len(bad) // 2] ^= 0xFF
+        engine.cache.put(
+            late_point,
+            dataclasses.replace(snap, arenas=(bytes(bad),) + snap.arenas[1:]),
+        )
+        second = engine.serve_point(late_point, _tasks(late_point))
+        assert _sig(second) == _sig(first) == _sig(_scratch(runner, late_point))
+        assert m.counter("snapshot.ff_divergence").value == 1
+        # The poisoned snapshot was dropped and a clean one re-captured.
+        assert engine.cache.get(late_point) is not None
+
+    def test_nondeterministic_app_served_by_full_replay(self, runner, late_point):
+        m = MetricsRegistry()
+        engine = SnapshotEngine(runner, metrics=m)
+        deterministic = runner.app.deterministic
+        try:
+            runner.app.deterministic = False
+            results = engine.serve_point(late_point, _tasks(late_point))
+        finally:
+            runner.app.deterministic = deterministic
+        assert _sig(results) == _sig(_scratch(runner, late_point))
+        assert m.counter("snapshot.fallback_tests").value == 3
+        assert m.counter("snapshot.forks").value == 0
+
+    def test_unreachable_site_served_by_full_replay(self, runner, lu_profile):
+        """A park that never fires (invocation beyond the app's horizon)
+        must degrade to scratch replays, not hang or die."""
+        point = enumerate_points(lu_profile)[0]
+        ghost = dataclasses.replace(point, invocation=point.invocation + 10_000)
+        m = MetricsRegistry()
+        engine = SnapshotEngine(runner, metrics=m)
+        results = engine.serve_point(ghost, _tasks(ghost))
+        assert _sig(results) == _sig(_scratch(runner, ghost))
+        assert m.counter("snapshot.fallback_tests").value == 3
+
+    def test_metrics_flow_through_serve(self, runner, late_point):
+        m = MetricsRegistry()
+        engine = SnapshotEngine(runner, metrics=m)
+        engine.serve_point(late_point, _tasks(late_point))
+        engine.serve_point(late_point, _tasks(late_point))
+        counters = m.to_dict()["counters"]
+        assert counters["snapshot.misses"] == 1
+        assert counters["snapshot.hits"] == 1
+        assert counters["snapshot.forks"] == 6
+        assert m.gauge("snapshot.bytes").value == engine.cache.nbytes > 0
+        assert m.timer("snapshot.fastforward_s").count == 1
