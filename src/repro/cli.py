@@ -47,7 +47,9 @@ from .exec.checkpoint import CheckpointMismatch
 from .fastfit import FastFIT
 from .store import CampaignStoreError, MigrationError
 from .injection.campaign import Campaign
+from .injection.models import SELECTABLE_MODELS
 from .injection.outcome import OUTCOME_ORDER, Outcome
+from .injection.scenario import ScenarioError, load_scenario
 from .injection.space import FaultSpec
 from .injection.targets import all_targets, pick_target
 from .obs import (
@@ -136,6 +138,17 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         "(bit-identical results, default on); --no-snapshot forces "
         "classic full replays and the point-major unit layout",
     )
+    p.add_argument(
+        "--fault-model", default="bitflip", metavar="NAME",
+        help="fault model drawn at every test (default 'bitflip'; one of: "
+        + ", ".join(SELECTABLE_MODELS) + ")",
+    )
+    p.add_argument(
+        "--scenario", default=None, metavar="PATH",
+        help="timeline-driven multi-fault scenario file (JSON); replaces "
+        "the per-point fault draw with the scenario's task list — "
+        "incompatible with --fault-model and --static-prune",
+    )
 
 
 def _tool(args: argparse.Namespace) -> FastFIT:
@@ -144,6 +157,11 @@ def _tool(args: argparse.Namespace) -> FastFIT:
         from .obs.progress import JsonlProgressSink
 
         sinks.append(JsonlProgressSink(args.progress_jsonl))
+    scenario = None
+    if getattr(args, "scenario", None):
+        # ScenarioError (malformed file, bad task list) propagates to
+        # main()'s operator-error handler: one line, exit 2.
+        scenario = load_scenario(args.scenario)
     return FastFIT(
         make_app(args.app, args.problem_class),
         seed=args.seed,
@@ -160,6 +178,8 @@ def _tool(args: argparse.Namespace) -> FastFIT:
         progress_every=getattr(args, "progress_every", 1),
         static_prune=getattr(args, "static_prune", False),
         snapshot=getattr(args, "snapshot", True),
+        fault_model=getattr(args, "fault_model", "bitflip"),
+        scenario=scenario,
     )
 
 
@@ -217,10 +237,17 @@ def cmd_prune(args: argparse.Namespace) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     ff = _tool(args)
-    points = ff.prune().representative_points
-    if args.max_points is not None:
-        points = points[: args.max_points]
-    campaign = ff.campaign(points=points)
+    if ff.scenario is not None:
+        # A scenario brings its own timeline; pruning the parameter
+        # fault space would be meaningless.  FastFIT.campaign() resolves
+        # the scenario's anchor point when given no point list.
+        campaign = ff.campaign()
+        points = list(campaign.points)
+    else:
+        points = ff.prune().representative_points
+        if args.max_points is not None:
+            points = points[: args.max_points]
+        campaign = ff.campaign(points=points)
     print(
         render_bars(
             {o.value: f for o, f in campaign.outcome_fractions().items()},
@@ -489,10 +516,14 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if args.app is None:
         return _stats_from_db(args)
     ff = _tool(args)
-    points = ff.prune().representative_points
-    if args.max_points is not None:
-        points = points[: args.max_points]
-    campaign = ff.campaign(points=points)
+    if ff.scenario is not None:
+        campaign = ff.campaign()
+        points = list(campaign.points)
+    else:
+        points = ff.prune().representative_points
+        if args.max_points is not None:
+            points = points[: args.max_points]
+        campaign = ff.campaign(points=points)
     registry = ff.metrics
 
     if args.json:
@@ -551,8 +582,10 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from .injection import enumerate_points
     from .snapshot import SNAPSHOT_MUTANTS
     from .verify import (
+        MODEL_MUTANTS,
         MUTANTS,
         fork_equivalence,
+        model_conformance,
         record_run,
         replay_run,
         run_conformance,
@@ -562,10 +595,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
     if args.list_mutants:
         rows = [[m.name, ", ".join(m.detected_by), m.description] for m in MUTANTS.values()]
         rows += [[m.name, m.detected_by, m.description] for m in SNAPSHOT_MUTANTS.values()]
+        rows += [[m.name, ", ".join(m.detected_by), m.description] for m in MODEL_MUTANTS.values()]
         print(render_table(["mutant", "detected by", "description"], rows, title="seeded mutants"))
         return 0
-    if args.mutant is not None and args.mutant not in MUTANTS and args.mutant not in SNAPSHOT_MUTANTS:
-        choices = ", ".join(sorted(MUTANTS) + sorted(SNAPSHOT_MUTANTS))
+    if (
+        args.mutant is not None
+        and args.mutant not in MUTANTS
+        and args.mutant not in SNAPSHOT_MUTANTS
+        and args.mutant not in MODEL_MUTANTS
+    ):
+        choices = ", ".join(sorted(MUTANTS) + sorted(SNAPSHOT_MUTANTS) + sorted(MODEL_MUTANTS))
         print(f"unknown mutant {args.mutant!r}; choices: {choices}", file=sys.stderr)
         return 2
 
@@ -574,6 +613,28 @@ def cmd_verify(args: argparse.Namespace) -> int:
     def phase(name: str, ok: bool, payload: dict) -> None:
         summary["phases"][name] = {"ok": ok, **payload}
         summary["ok"] = summary["ok"] and ok
+
+    # A fault-model mutant routes straight to the witness sweep (phase
+    # 6): the defect lives in the delivery helpers and only the
+    # witnesses exercise them with known expectations.
+    if args.mutant in MODEL_MUTANTS:
+        report = model_conformance(seed=args.seed, mutant=args.mutant)
+        expected = set(MODEL_MUTANTS[args.mutant].detected_by)
+        failed = {r.witness for r in report.failures}
+        detected = expected <= failed
+        phase("models", detected, {
+            "mutant": args.mutant, "detected": detected,
+            "failed_witnesses": sorted(failed),
+        })
+        if args.json:
+            print(json.dumps(summary, sort_keys=True))
+        else:
+            print(report.describe())
+            print(
+                f"mutant {args.mutant!r}: "
+                + ("DETECTED (witnesses have teeth)" if detected else "NOT DETECTED — harness failure")
+            )
+        return 0 if summary["ok"] else 1
 
     # A snapshot mutant routes straight to the fork-equivalence oracle
     # (phase 5): the other phases never touch the snapshot engine and
@@ -681,6 +742,18 @@ def cmd_verify(args: argparse.Namespace) -> int:
             "mismatches": report.mismatches[:10],
         })
         if not args.json:
+            print(report.describe())
+
+    # 6. fault-model conformance: every composable fault model must
+    # produce its expected Table-I response on its witness app.
+    if not args.skip_models and args.mutant is None:
+        report = model_conformance(seed=args.seed)
+        phase("models", report.ok, {
+            "witnesses": {r.witness: r.ok for r in report.results},
+            "failures": [r.describe() for r in report.failures],
+        })
+        if not args.json:
+            print()
             print(report.describe())
 
     if args.json:
@@ -1056,6 +1129,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the snapshot fork-equivalence check",
     )
     p.add_argument(
+        "--skip-models", action="store_true",
+        help="skip the fault-model conformance witnesses",
+    )
+    p.add_argument(
         "--app", default="lu", choices=sorted(APPLICATIONS),
         help="workload for the campaign determinism check",
     )
@@ -1141,6 +1218,36 @@ def main(argv: Sequence[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    fault_model = getattr(args, "fault_model", "bitflip")
+    if fault_model not in SELECTABLE_MODELS:
+        print(
+            f"unknown fault model {fault_model!r}; choices: "
+            + ", ".join(SELECTABLE_MODELS),
+            file=sys.stderr,
+        )
+        return 2
+    if getattr(args, "scenario", None):
+        if getattr(args, "static_prune", False):
+            print(
+                "--scenario is incompatible with --static-prune: the "
+                "pre-classifier only understands single-bit parameter flips",
+                file=sys.stderr,
+            )
+            return 2
+        if fault_model != "bitflip":
+            print(
+                "--scenario and --fault-model are mutually exclusive "
+                "(the scenario's tasks name their own models)",
+                file=sys.stderr,
+            )
+            return 2
+    if fault_model != "bitflip" and getattr(args, "static_prune", False):
+        print(
+            f"--static-prune only understands the single-bit 'bitflip' "
+            f"fault model, not {fault_model!r}",
+            file=sys.stderr,
+        )
+        return 2
     unit_timeout = getattr(args, "unit_timeout", None)
     if unit_timeout is not None and unit_timeout <= 0:
         print(f"--unit-timeout must be > 0 seconds, got {unit_timeout}", file=sys.stderr)
@@ -1155,7 +1262,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     try:
         return args.fn(args)
-    except (CheckpointMismatch, CampaignStoreError, MigrationError, StaticPruneError) as exc:
+    except (
+        CheckpointMismatch, CampaignStoreError, MigrationError,
+        StaticPruneError, ScenarioError,
+    ) as exc:
         # A stale/foreign checkpoint, locked database, or unconvertible
         # directory is an operator error, not a crash: one line, exit 2,
         # no traceback.

@@ -56,6 +56,8 @@ def campaign_digest(
     algorithms: dict[str, str] | None = None,
     code_version: str = __version__,
     layout: str = "p1",
+    fault_model: str = "bitflip",
+    scenario_fp: str | None = None,
 ) -> str:
     """Hash of everything the campaign's results are a function of.
 
@@ -63,7 +65,9 @@ def campaign_digest(
     (:data:`repro.exec.sharding.LAYOUTS`).  The classic point-major
     layout (``"p1"``) is deliberately omitted from the payload so every
     digest computed before the tag existed stays byte-identical —
-    pre-existing checkpoints keep resuming.
+    pre-existing checkpoints keep resuming.  The same omit-when-default
+    rule applies to ``fault_model`` (``"bitflip"``) and ``scenario_fp``
+    (``None``): single-bit campaigns digest exactly as they always have.
     """
     fields = {
         "app": app.name,
@@ -81,6 +85,10 @@ def campaign_digest(
     }
     if layout != "p1":
         fields["layout"] = layout
+    if fault_model != "bitflip":
+        fields["fault_model"] = fault_model
+    if scenario_fp is not None:
+        fields["scenario"] = scenario_fp
     payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
 

@@ -57,8 +57,8 @@ from .. import __version__
 from ..apps.base import Application
 from ..injection.outcome import Outcome
 from ..injection.runner import TestResult
-from ..injection.space import FaultSpec, InjectionPoint
-from ..injection.targets import pick_target
+from ..injection.models import draw_spec
+from ..injection.space import InjectionPoint
 from ..obs.metrics import MetricsRegistry
 from ..obs.progress import ProgressTracker
 from ..profiling.profiler import ApplicationProfile
@@ -103,6 +103,8 @@ class ParallelCampaign:
         tracer: "Tracer | None" = None,
         progress_sinks: Sequence | None = None,
         snapshot: bool = True,
+        fault_model: str = "bitflip",
+        scenario=None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -137,6 +139,10 @@ class ParallelCampaign:
         #: snapshot campaigns use the site-major ``"s1"`` layout (one
         #: prefix park per point, site-adjacent ordering).
         self.snapshot = snapshot
+        #: Fault-model name / optional scenario timeline (see
+        #: :mod:`repro.injection.models`), forwarded to every worker.
+        self.fault_model = fault_model
+        self.scenario = scenario
         #: Unit ids given up on during the last :meth:`run` (their tests
         #: carry synthetic ``TOOL_ERROR`` verdicts).
         self.quarantined: list[str] = []
@@ -163,6 +169,8 @@ class ParallelCampaign:
             tracer=campaign.tracer,
             progress_sinks=campaign.progress_sinks,
             snapshot=campaign.snapshot,
+            fault_model=campaign.fault_model,
+            scenario=campaign.scenario,
         )
 
     # -- quarantine synthesis ------------------------------------------
@@ -183,10 +191,15 @@ class ParallelCampaign:
                 entropy=self.seed, spawn_key=(unit.point_index, t)
             )
             rng = np.random.default_rng(seq)
-            param = pick_target(rng, point.collective, self.param_policy)
+            spec = draw_spec(
+                point, rng,
+                policy=self.param_policy,
+                model=self.fault_model,
+                scenario=self.scenario,
+            )
             tests.append(
                 TestResult(
-                    FaultSpec(point, param, None),
+                    spec,
                     Outcome.TOOL_ERROR,
                     None,
                     detail=f"unit {unit.unit_id} quarantined: {reason}",
@@ -230,6 +243,10 @@ class ParallelCampaign:
                 points,
                 algorithms=self.algorithms,
                 layout=layout,
+                fault_model=self.fault_model,
+                scenario_fp=(
+                    None if self.scenario is None else self.scenario.fingerprint()
+                ),
             )
             if self.db_path is not None:
                 # Lazy import: repro.store depends on repro.exec.sharding.
@@ -341,13 +358,15 @@ class ParallelCampaign:
                     state = WorkerState(
                         self.app, self.profile, self.param_policy, self.seed,
                         self.algorithms, self.snapshot,
+                        self.fault_model, self.scenario,
                     )
                     for unit in pending:
                         complete(*state.execute(unit, points[unit.point_index]))
                 else:
                     payload = pickle.dumps(
                         (self.app, self.profile, self.param_policy, self.seed,
-                         self.algorithms, self.snapshot),
+                         self.algorithms, self.snapshot,
+                         self.fault_model, self.scenario),
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )
                     tasks = [(u, points[u.point_index]) for u in pending]

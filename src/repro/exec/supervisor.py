@@ -52,8 +52,8 @@ import numpy as np
 
 from ..apps.base import Application
 from ..injection.runner import InjectionRunner, TestResult
+from ..injection.models import draw_spec
 from ..injection.space import FaultSpec, InjectionPoint
-from ..injection.targets import pick_target
 from ..obs.metrics import MetricsRegistry
 from ..profiling.profiler import ApplicationProfile
 from .sharding import WorkUnit
@@ -137,10 +137,14 @@ class WorkerState:
         seed: int,
         algorithms: dict[str, str] | None,
         snapshot: bool = True,
+        fault_model: str = "bitflip",
+        scenario=None,
     ):
         self.app = app
         self.param_policy = param_policy
         self.seed = seed
+        self.fault_model = fault_model
+        self.scenario = scenario
         # The profile arrives pickled; the runner derives its hang budget
         # from it without re-running the golden job.
         self.runner = InjectionRunner(app, profile, algorithms=algorithms)
@@ -164,8 +168,13 @@ class WorkerState:
                     entropy=self.seed, spawn_key=(unit.point_index, t)
                 )
                 rng = np.random.default_rng(seq)
-                param = pick_target(rng, point.collective, self.param_policy)
-                tasks.append((FaultSpec(point, param, None), rng))
+                spec = draw_spec(
+                    point, rng,
+                    policy=self.param_policy,
+                    model=self.fault_model,
+                    scenario=self.scenario,
+                )
+                tasks.append((spec, rng))
             if self.engine is not None:
                 tests = self.engine.serve_point(point, tasks, metrics=registry)
             else:

@@ -132,6 +132,8 @@ class FastFIT:
         progress_every: int = 1,
         static_prune: bool = False,
         snapshot: bool = True,
+        fault_model: str = "bitflip",
+        scenario=None,
     ):
         self.app = app
         self.seed = seed
@@ -167,6 +169,13 @@ class FastFIT:
         #: Snapshot-and-fork serving (:mod:`repro.snapshot`): amortise
         #: the fault-free prefix across every test at an injection point.
         self.snapshot = snapshot
+        #: Fault model applied to every campaign test (see
+        #: :data:`repro.injection.models.MODELS`).
+        self.fault_model = fault_model
+        #: Optional :class:`~repro.injection.Scenario` timeline; a
+        #: scenario campaign runs under the scenario's synthetic anchor
+        #: point instead of profiled/pruned injection points.
+        self.scenario = scenario
         self._profile: ApplicationProfile | None = None
         self._pruning: PruningReport | None = None
         self._preclassifier = None
@@ -240,7 +249,10 @@ class FastFIT:
         """A traditional campaign over ``points`` (default: the pruned
         representatives)."""
         if points is None:
-            points = self.prune().representative_points
+            if self.scenario is not None:
+                points = [self.scenario.anchor_point()]
+            else:
+                points = self.prune().representative_points
         runner = Campaign(
             self.app,
             self.profile(),
@@ -260,6 +272,8 @@ class FastFIT:
             progress_every=self.progress_every,
             preclassifier=self.preclassifier() if self.static_prune else None,
             snapshot=self.snapshot,
+            fault_model=self.fault_model,
+            scenario=self.scenario,
         )
         logger.info(
             "campaign: %d points x %d tests (%d jobs)",

@@ -22,9 +22,10 @@ import numpy as np
 from ..apps.base import Application
 from ..profiling.profiler import ApplicationProfile
 from .outcome import OUTCOME_ORDER, Outcome
+from .models import MODELS, draw_spec
 from .runner import InjectionRunner, TestResult
+from .scenario import Scenario
 from .space import FaultSpec, InjectionPoint
-from .targets import pick_target
 
 
 @dataclass
@@ -268,6 +269,8 @@ class Campaign:
         progress_sinks=None,
         preclassifier=None,
         snapshot: bool = True,
+        fault_model: str = "bitflip",
+        scenario: Scenario | None = None,
     ):
         self.app = app
         self.profile = profile
@@ -290,6 +293,23 @@ class Campaign:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if checkpoint_dir is not None and db_path is not None:
             raise ValueError("checkpoint_dir and db_path are mutually exclusive")
+        if fault_model not in MODELS or fault_model == "scenario":
+            raise ValueError(
+                f"unknown fault model {fault_model!r}; "
+                f"choices: {', '.join(n for n in MODELS if n != 'scenario')}"
+            )
+        if scenario is not None and fault_model != "bitflip":
+            raise ValueError("scenario and fault_model are mutually exclusive")
+        if preclassifier is not None and (
+            scenario is not None or not MODELS[fault_model].preclassifiable
+        ):
+            # The static rules reason about single-bit parameter
+            # corruption only; declining richer models keeps predictions
+            # honest (see repro.analyze).
+            raise ValueError(
+                "static pruning (preclassifier) only understands the "
+                "single-bit 'bitflip' fault model"
+            )
         if preclassifier is not None and (
             jobs != 1 or checkpoint_dir is not None or db_path is not None
         ):
@@ -324,6 +344,13 @@ class Campaign:
         #: forces classic full replays (also selects the point-major unit
         #: layout when parallel).
         self.snapshot = snapshot
+        #: Fault-model name from :data:`repro.injection.models.MODELS`
+        #: applied to every test ("bitflip" = the paper's model).
+        self.fault_model = fault_model
+        #: Optional :class:`~repro.injection.scenario.Scenario`; when
+        #: set, every test replays the timeline (under its synthetic
+        #: anchor point) instead of drawing single faults.
+        self.scenario = scenario
         self.runner = InjectionRunner(app, profile, algorithms=algorithms)
         self._engine = None
 
@@ -367,8 +394,13 @@ class Campaign:
                     )
                     continue
             rng = self._rng_for(point_index, t)
-            param = pick_target(rng, point.collective, self.param_policy)
-            tasks.append((FaultSpec(point, param, None), rng))
+            spec = draw_spec(
+                point, rng,
+                policy=self.param_policy,
+                model=self.fault_model,
+                scenario=self.scenario,
+            )
+            tasks.append((spec, rng))
         if self.snapshot and tasks:
             executed = self._snapshot_engine().serve_point(point, tasks)
         else:

@@ -18,6 +18,7 @@ from ..profiling.profiler import ApplicationProfile, profile_application
 from ..simmpi import SimMPIError, run_app
 from ..simmpi.memory import DEFAULT_ARENA_SIZE
 from .injector import FaultInjector, InjectionRecord
+from .models import build_injector
 from .outcome import Outcome, classify_exception
 from .space import FaultSpec
 
@@ -87,7 +88,7 @@ class InjectionRunner:
         contexts, memories, injector) and the armed fault is announced
         with a ``fault_armed`` event before the job starts.
         """
-        injector = FaultInjector(spec, rng, tracer=tracer)
+        injector = build_injector(spec, rng, tracer=tracer)
         self.last_exception = None
         if tracer is not None:
             p = spec.point
@@ -108,6 +109,7 @@ class InjectionRunner:
                     algorithms=self.algorithms,
                     alloc_cap=self.alloc_cap,
                     tracer=tracer,
+                    tap=getattr(injector, "tap", None),
                 )
         except SimMPIError as exc:
             self.last_exception = exc

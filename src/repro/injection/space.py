@@ -45,6 +45,44 @@ class FaultSpec:
     param: str
     bit: int
 
+    #: Fault-model name (class attribute, not a field: single-bit specs
+    #: stay byte-identical under pickling and hashing, which keeps PR-8
+    #: campaign digests stable).  Richer models use
+    #: :class:`repro.injection.models.ModelSpec`, which overrides this
+    #: with a real field.
+    model = "bitflip"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One concrete fault under a richer fault model.
+
+    Generalizes :class:`FaultSpec` (which stays the dedicated,
+    byte-stable single-bit spec): ``model`` names an entry in
+    :data:`repro.injection.models.MODELS`; the remaining fields are
+    model-specific knobs, zero-valued when a model does not use them.
+
+    ``width``
+        adjacent bits for ``multibit``/``msg_corrupt`` bursts
+        (0 = draw from the test's RNG);
+    ``count``
+        messages hit by a wire fault (default 1);
+    ``weight``
+        steps a ``rank_stall`` charges to the deadline budget
+        (0 = unbounded, i.e. past the whole budget → ``INF_LOOP``);
+    ``scenario``
+        the timeline for ``model == "scenario"`` tests.
+    """
+
+    point: InjectionPoint
+    model: str
+    param: str = ""
+    bit: int | None = None
+    width: int = 0
+    count: int = 1
+    weight: int = 0
+    scenario: "object | None" = None
+
 
 def enumerate_points(profile: ApplicationProfile) -> list[InjectionPoint]:
     """The full, unpruned injection-point space of a profiled run."""

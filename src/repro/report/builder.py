@@ -261,7 +261,11 @@ def _breakdown_section(db: CampaignDB, c: sqlite3.Row) -> str:
             rows.append(cells)
         return f"<h3>{label}</h3>" + table([label.lower()] + order, rows)
 
-    body = matrix("collective", "By collective") + matrix("param", "By injected parameter")
+    body = (
+        matrix("collective", "By collective")
+        + matrix("param", "By injected parameter")
+        + matrix("model", "By fault model")
+    )
     return section("breakdown", "Outcome breakdown", body)
 
 

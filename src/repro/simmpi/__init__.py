@@ -38,6 +38,7 @@ from .memory import ArrayRef, Memory
 from .ops import ReduceOp, make_op_space
 from .request import Request
 from .runtime import AppFn, RunResult, SimMPI, run_app
+from .scheduler import DeliveryTap
 from .sanitize import Sanitizer, SanitizerViolation, Violation
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "Context",
     "Datatype",
     "DeadlockError",
+    "DeliveryTap",
     "FiberCrashed",
     "HANDLE_PARAMS",
     "HANDLE_VECTOR_PARAMS",

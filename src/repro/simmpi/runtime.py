@@ -19,7 +19,7 @@ from .fiber import Fiber
 from .memory import DEFAULT_ARENA_SIZE
 from .ops import ReduceOp, make_op_space
 from .sanitize import Sanitizer
-from .scheduler import DEFAULT_STEP_BUDGET, Scheduler
+from .scheduler import DEFAULT_STEP_BUDGET, DeliveryTap, Scheduler
 
 #: Signature of an application entry point: a generator function taking
 #: a per-rank :class:`~repro.simmpi.context.Context`.
@@ -77,6 +77,9 @@ class SimMPI:
     recorder:
         Optional append-only sink for the scheduler's deterministic
         replay log (see :mod:`repro.verify.replay`).
+    tap:
+        Optional :class:`~repro.simmpi.scheduler.DeliveryTap` handed to
+        the scheduler for wire-fault injection at the delivery layer.
     extra_ops:
         Additional :class:`~repro.simmpi.ops.ReduceOp` objects to
         register after the predefined ones (the predefined handle
@@ -101,6 +104,7 @@ class SimMPI:
         sanitize: "bool | Sanitizer" = False,
         recorder=None,
         extra_ops: Sequence[ReduceOp] = (),
+        tap: DeliveryTap | None = None,
     ):
         if nranks < 1:
             raise ValueError(f"need at least one rank, got {nranks}")
@@ -117,6 +121,7 @@ class SimMPI:
         else:
             self.sanitizer = None
         self.recorder = recorder
+        self.tap = tap
         self.algorithms = {"bcast": "binomial", "allreduce": "auto"}
         for key, value in (algorithms or {}).items():
             if key not in self.ALGORITHM_CHOICES:
@@ -154,6 +159,7 @@ class SimMPI:
             tracer=self.tracer,
             comm_lookup=self.comm_factory.context_map,
             recorder=self.recorder,
+            tap=self.tap,
         )
         return contexts, fibers, scheduler
 
@@ -196,6 +202,7 @@ def run_app(
     sanitize: "bool | Sanitizer" = False,
     recorder=None,
     extra_ops: Sequence[ReduceOp] = (),
+    tap: DeliveryTap | None = None,
 ) -> RunResult:
     """Convenience wrapper: build a fresh runtime and run ``app_fn``."""
     return SimMPI(
@@ -208,4 +215,5 @@ def run_app(
         sanitize=sanitize,
         recorder=recorder,
         extra_ops=extra_ops,
+        tap=tap,
     ).run(app_fn, instruments=instruments)

@@ -43,6 +43,34 @@ MatchKey = tuple[int, int, int, int]
 CommLookup = Callable[[], dict[int, tuple[str, tuple[int, ...]]]]
 
 
+class DeliveryTap:
+    """Delivery-layer interception point for wire-fault injection.
+
+    A tap sees every message *between* the send syscall and its
+    delivery (waiter wakeup or mailbox append) and decides what is
+    actually delivered — without touching application code, which is
+    what makes message drop/duplication/reorder/corruption a property
+    of the simulated network rather than of the workload.
+
+    ``on_send`` returns ``None`` for normal delivery, or a list of
+    payloads replacing the original: ``[]`` drops the message,
+    ``[p, p]`` duplicates it, ``[p']`` corrupts it, and a tap may hold
+    a payload back and release it bundled with a later send on the
+    same match key (reorder).  ``pending_steps`` is drained into the
+    scheduler's event counter before the next scheduling decision —
+    the stall model: a stalled rank charges the global deadline budget
+    exactly as runaway progress would, so stall detection rides the
+    existing ``StepBudgetExceeded`` machinery.
+    """
+
+    pending_steps: int = 0
+
+    def on_send(self, sender: int, call: "Send") -> "list[bytes] | None":
+        """Intercept one send from world rank ``sender``; ``None`` =
+        deliver the original payload unchanged."""
+        return None
+
+
 class Scheduler:
     """Runs a set of rank fibers to completion.
 
@@ -65,6 +93,9 @@ class Scheduler:
         the deterministic replay log (see :mod:`repro.verify.replay`):
         two runs of the same program are equivalent iff their recorded
         streams are identical.  ``None`` keeps the hot path unrecorded.
+    tap:
+        Optional :class:`DeliveryTap` intercepting message delivery for
+        wire-fault injection.  ``None`` keeps the hot path untapped.
     """
 
     def __init__(
@@ -74,12 +105,18 @@ class Scheduler:
         tracer=None,
         comm_lookup: CommLookup | None = None,
         recorder=None,
+        tap: DeliveryTap | None = None,
     ):
         self.fibers = fibers
         self.step_budget = step_budget
         self.tracer = tracer
         self.comm_lookup = comm_lookup
         self.recorder = recorder
+        self.tap = tap
+        #: World rank of the fiber whose send is being handled — set by
+        #: the run loop just before :meth:`_handle_send` so the tap sees
+        #: the sender without widening the subclass-interception hook.
+        self._sending_rank = -1
         self.steps = 0
         #: Unconsumed messages: match key -> FIFO of payloads.
         self.mailbox: dict[MatchKey, deque[bytes]] = {}
@@ -105,30 +142,39 @@ class Scheduler:
     # -- syscall handling --------------------------------------------
 
     def _handle_send(self, call: Send) -> None:
+        if self.tap is not None:
+            payloads = self.tap.on_send(self._sending_rank, call)
+            if payloads is not None:
+                for payload in payloads:
+                    self._deliver(call, payload)
+                return
+        self._deliver(call, call.payload)
+
+    def _deliver(self, call: Send, payload: bytes) -> None:
         key = (call.context_id, call.src, call.dst, call.tag)
         waiter = self.waiting.pop(key, None)
         if waiter is not None:
-            waiter.resume_value = call.payload
+            waiter.resume_value = payload
             waiter.state = FiberState.READY
             waiter.wait_reason = ""
             self._ready.append(waiter)
             if self.recorder is not None:
                 self.recorder.append(
-                    ("M", waiter.rank, *key, len(call.payload))
+                    ("M", waiter.rank, *key, len(payload))
                 )
             if self.tracer is not None:
                 self.tracer.emit(
                     "match", waiter.rank,
                     ctx=call.context_id, src=call.src, dst=call.dst, tag=call.tag,
-                    nbytes=len(call.payload),
+                    nbytes=len(payload),
                 )
         else:
             # No setdefault: it would build a throwaway deque per send.
             queue = self.mailbox.get(key)
             if queue is None:
-                self.mailbox[key] = deque((call.payload,))
+                self.mailbox[key] = deque((payload,))
             else:
-                queue.append(call.payload)
+                queue.append(payload)
 
     def _handle_recv(self, fiber: Fiber, call: Recv) -> bool:
         """Returns True if the fiber stays ready (message available)."""
@@ -210,6 +256,7 @@ class Scheduler:
         waiting = self.waiting
         tracer = self.tracer
         recorder = self.recorder
+        tap = self.tap
         budget = self.step_budget
         handle_send = self._handle_send
         handle_recv = self._handle_recv
@@ -219,6 +266,15 @@ class Scheduler:
         steps = self.steps
         try:
             while ready:
+                # Stall faults charge the deadline budget out of band:
+                # an injected stall deposits steps on the tap, drained
+                # here so the run dies with the same StepBudgetExceeded
+                # a runaway loop would raise.
+                if tap is not None and tap.pending_steps:
+                    steps += tap.pending_steps
+                    tap.pending_steps = 0
+                    if steps > budget:
+                        raise StepBudgetExceeded(budget, **self._forensics())
                 fiber = ready.popleft()
                 if fiber.state is not READY:
                     continue
@@ -260,6 +316,7 @@ class Scheduler:
                             ctx=call.context_id, src=call.src, dst=call.dst,
                             tag=call.tag, nbytes=len(call.payload),
                         )
+                    self._sending_rank = fiber.rank
                     handle_send(call)
                     ready.append(fiber)
                 elif cls is Recv:
@@ -291,6 +348,7 @@ class Scheduler:
                             ctx=call.context_id, src=call.src, dst=call.dst,
                             tag=call.tag, nbytes=len(call.payload),
                         )
+                    self._sending_rank = fiber.rank
                     handle_send(call)
                     ready.append(fiber)
                 elif isinstance(call, Recv):

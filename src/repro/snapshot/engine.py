@@ -34,6 +34,7 @@ from typing import Any
 import numpy as np
 
 from ..injection.injector import FaultInjector
+from ..injection.models import MODELS, build_injector
 from ..injection.runner import InjectionRunner, TestResult
 from ..injection.space import FaultSpec, InjectionPoint
 from ..simmpi.calls import Instrument
@@ -142,6 +143,13 @@ class SnapshotEngine:
         if not tasks:
             return []
         if not snapshot_supported() or not getattr(self.runner.app, "deterministic", True):
+            self._inc(m, "snapshot.fallback_tests", len(tasks))
+            return [self.runner.run_one(spec, rng) for spec, rng in tasks]
+        if not MODELS[getattr(tasks[0][0], "model", "bitflip")].snapshot_safe:
+            # Wire, rank, and timeline faults are not single-site
+            # parameter corruptions: the fault-free-prefix assumption
+            # the fork amortization rests on does not hold, so the
+            # whole batch replays from scratch.
             self._inc(m, "snapshot.fallback_tests", len(tasks))
             return [self.runner.run_one(spec, rng) for spec, rng in tasks]
 
@@ -259,7 +267,7 @@ class SnapshotEngine:
             for i, (spec, rng) in enumerate(tasks):
                 if mutants.active_mutant() == "snapshot_rng_desync":
                     rng.integers(0, 1 << 16)
-                injector = FaultInjector(spec, rng)
+                injector = build_injector(spec, rng)
                 rfd, wfd = os.pipe()
                 self._inc(m, "snapshot.forks")
                 pid = os.fork()

@@ -82,6 +82,28 @@ class CampaignDB:
         found = conn.execute(
             "SELECT value FROM schema_meta WHERE key = 'schema_version'"
         ).fetchone()
+        if found is not None and int(found["value"]) == 1:
+            # v1 -> v2: results grew a per-test fault-model column.
+            # Every pre-existing row was necessarily a single-bit test,
+            # which is exactly the column default — migrate in place.
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                conn.execute(
+                    "ALTER TABLE results "
+                    "ADD COLUMN model TEXT NOT NULL DEFAULT 'bitflip'"
+                )
+                conn.execute(
+                    "UPDATE schema_meta SET value = ? WHERE key = 'schema_version'",
+                    (str(SCHEMA_VERSION),),
+                )
+                conn.execute("COMMIT")
+            except sqlite3.Error as exc:
+                conn.close()
+                raise CampaignStoreError(
+                    f"cannot migrate campaign database {self.path} "
+                    f"from schema v1 to v{SCHEMA_VERSION}: {exc}"
+                ) from exc
+            found = {"value": str(SCHEMA_VERSION)}
         if found is not None and int(found["value"]) != SCHEMA_VERSION:
             conn.close()
             raise CampaignStoreError(
@@ -237,6 +259,7 @@ class CampaignDB:
                     p.rank, p.collective, p.site, p.invocation,
                     t.spec.param,
                     None if t.record is None or t.record.skipped else t.record.bit,
+                    getattr(t.spec, "model", "bitflip"),
                     t.outcome.name, int(t.injected), t.detail,
                 )
             )
@@ -264,8 +287,8 @@ class CampaignDB:
                     INSERT OR REPLACE INTO results (
                         campaign_id, unit_id, point_index, test_index,
                         rank, collective, site, invocation, param, bit,
-                        outcome, injected, detail
-                    ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                        model, outcome, injected, detail
+                    ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                     """,
                     rows,
                 )

@@ -45,7 +45,9 @@ uncommitted transaction; everything previously committed survives.
 from __future__ import annotations
 
 #: Bump when the DDL below changes incompatibly; stored in ``schema_meta``.
-SCHEMA_VERSION = 1
+#: v2 added ``results.model`` (the fault-model name per test); v1
+#: databases are migrated in place on open (see ``CampaignDB.open``).
+SCHEMA_VERSION = 2
 
 SCHEMA = """
 CREATE TABLE IF NOT EXISTS schema_meta (
@@ -95,6 +97,7 @@ CREATE TABLE IF NOT EXISTS results (
     invocation  INTEGER NOT NULL,
     param       TEXT NOT NULL,
     bit         INTEGER,             -- flipped bit (NULL: no fault fired)
+    model       TEXT NOT NULL DEFAULT 'bitflip',
     outcome     TEXT NOT NULL,
     injected    INTEGER NOT NULL,
     detail      TEXT NOT NULL DEFAULT '',

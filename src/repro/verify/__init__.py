@@ -14,6 +14,9 @@ compatible:
 * :mod:`repro.verify.mutants` — seeded defects proving the harness has
   teeth (a verifier that cannot fail a broken simulator verifies
   nothing);
+* :mod:`repro.verify.models` — model-conformance witnesses pinning every
+  composable fault model to its expected Table-I response, plus seeded
+  delivery-layer mutants the witness sweep must catch;
 * :mod:`repro.verify.snapshot_check` — the fork-equivalence oracle for
   the snapshot-and-fork engine (forked test streams must fingerprint
   identically to from-scratch replays; seeded engine mutants must be
@@ -30,6 +33,17 @@ from .conformance import (
     FUZZED_COLLECTIVES,
     run_conformance,
 )
+from .models import (
+    MODEL_MUTANTS,
+    WITNESSES,
+    ModelConformanceReport,
+    ModelMutant,
+    ModelWitness,
+    WitnessResult,
+    model_conformance,
+    run_witness,
+    seeded_model_mutant,
+)
 from .mutants import MUTANTS, seeded_mutant
 from .replay import ReplayLog, ReplayReport, record_run, replay_run
 from .sanitize_sweep import SweepResult, sanitize_sweep
@@ -41,17 +55,26 @@ __all__ = [
     "CollectiveReport",
     "ConformanceReport",
     "FUZZED_COLLECTIVES",
+    "MODEL_MUTANTS",
     "MUTANTS",
+    "ModelConformanceReport",
+    "ModelMutant",
+    "ModelWitness",
     "ReplayLog",
     "ReplayReport",
     "Sanitizer",
     "SanitizerViolation",
     "SweepResult",
     "Violation",
+    "WITNESSES",
+    "WitnessResult",
     "fork_equivalence",
+    "model_conformance",
     "record_run",
     "replay_run",
     "run_conformance",
+    "run_witness",
     "sanitize_sweep",
+    "seeded_model_mutant",
     "seeded_mutant",
 ]

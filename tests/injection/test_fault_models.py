@@ -1,0 +1,256 @@
+"""The composable fault-model layer, end to end.
+
+Covers the model catalog contract, ``draw_spec`` byte-stability for the
+default single-bit model, campaigns under every selectable model
+(serial ↔ parallel ↔ stored), the snapshot engine's full-replay
+fallback for non-single-site models, the per-test ``model`` column in
+the store, and the TOOL_ERROR exclusion holding for model/scenario
+specs.
+"""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.exec.checkpoint import campaign_digest
+from repro.injection import (
+    Campaign,
+    FaultSpec,
+    ModelSpec,
+    SELECTABLE_MODELS,
+    draw_spec,
+    enumerate_points,
+    parse_scenario,
+)
+from repro.injection.campaign import PointResult
+from repro.injection.models import MODELS
+from repro.injection.outcome import Outcome
+from repro.injection.runner import TestResult as InjectionTestResult
+from repro.injection.space import InjectionPoint
+from repro.obs.metrics import MetricsRegistry
+from repro.profiling import profile_application
+
+SEED = 11
+TESTS = 2
+
+
+@pytest.fixture(scope="module")
+def is_app():
+    return make_app("is", "T")
+
+
+@pytest.fixture(scope="module")
+def is_profile(is_app):
+    return profile_application(is_app)
+
+
+@pytest.fixture(scope="module")
+def is_points(is_profile):
+    return enumerate_points(is_profile)[:3]
+
+
+def signature(result):
+    sig = []
+    for point, pr in result.points.items():
+        sig.append((
+            point,
+            [
+                (
+                    t.spec.point, getattr(t.spec, "model", "bitflip"),
+                    t.spec.param, t.outcome,
+                    None if t.record is None else (t.record.kind, t.record.skipped),
+                )
+                for t in pr.tests
+            ],
+            pr.error_rate,
+        ))
+    return sig
+
+
+class TestCatalog:
+    def test_every_model_is_registered_consistently(self):
+        for name, model in MODELS.items():
+            assert model.name == name
+            assert model.kind in ("param", "wire", "rank", "scenario")
+            assert callable(model.builder)
+
+    def test_scenario_is_not_directly_selectable(self):
+        assert "scenario" in MODELS
+        assert "scenario" not in SELECTABLE_MODELS
+        assert set(SELECTABLE_MODELS) == set(MODELS) - {"scenario"}
+
+    def test_only_single_site_parameter_models_are_snapshot_safe(self):
+        safe = {n for n, m in MODELS.items() if m.snapshot_safe}
+        assert safe == {"bitflip", "multibit"}
+
+    def test_only_the_paper_model_is_preclassifiable(self):
+        assert [n for n, m in MODELS.items() if m.preclassifiable] == ["bitflip"]
+
+
+class TestDrawSpec:
+    """``draw_spec`` is the one shared RNG contract for every model."""
+
+    def test_bitflip_draw_is_byte_stable(self, is_points):
+        """The default model must produce the exact historical FaultSpec
+        (same type, same pickle) so digests and checkpoints are stable."""
+        point = is_points[0]
+        a = draw_spec(point, np.random.default_rng(3), policy="all")
+        b = FaultSpec(point, a.param, None)
+        assert type(a) is FaultSpec
+        assert a == b
+        assert getattr(a, "model") == "bitflip"
+
+    @pytest.mark.parametrize("model", [m for m in SELECTABLE_MODELS if m != "bitflip"])
+    def test_model_draws_are_deterministic(self, is_points, model):
+        point = is_points[0]
+        a = draw_spec(point, np.random.default_rng(5), policy="all", model=model)
+        b = draw_spec(point, np.random.default_rng(5), policy="all", model=model)
+        assert a == b
+        assert isinstance(a, ModelSpec) and a.model == model
+
+
+class TestModelCampaigns:
+    @pytest.mark.parametrize("model", [m for m in SELECTABLE_MODELS if m != "bitflip"])
+    def test_every_model_runs_end_to_end(self, is_app, is_profile, is_points, model):
+        result = Campaign(
+            is_app, is_profile, tests_per_point=TESTS, param_policy="all",
+            seed=SEED, fault_model=model,
+        ).run(is_points[:2])
+        assert result.n_tests() == 2 * TESTS
+        # Every verdict is a Table-I application response — never a
+        # harness error leaking out of the delivery layer.
+        assert result.tool_error_count() == 0
+
+    def test_serial_parallel_identical_for_wire_model(self, is_app, is_profile, is_points):
+        runs = [
+            Campaign(
+                is_app, is_profile, tests_per_point=TESTS, param_policy="all",
+                seed=SEED, jobs=jobs, fault_model="msg_corrupt",
+            ).run(is_points)
+            for jobs in (1, 2)
+        ]
+        assert signature(runs[0]) == signature(runs[1])
+
+    def test_scenario_campaign_runs_on_anchor_point(self, is_app, is_profile):
+        scen = parse_scenario({
+            "version": 1, "name": "t-drop",
+            "tasks": [{"t": 0, "model": "msg_drop", "rank": 0}],
+        })
+        result = Campaign(
+            is_app, is_profile, tests_per_point=TESTS, seed=SEED, scenario=scen,
+        ).run([scen.anchor_point()])
+        hist = result.outcome_histogram()
+        assert hist[Outcome.INF_LOOP] == TESTS  # starved receivers hang
+
+    def test_unknown_model_rejected(self, is_app, is_profile):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            Campaign(is_app, is_profile, fault_model="bogus")
+        with pytest.raises(ValueError, match="unknown fault model"):
+            Campaign(is_app, is_profile, fault_model="scenario")
+
+    def test_scenario_and_model_mutually_exclusive(self, is_app, is_profile):
+        scen = parse_scenario({
+            "version": 1, "name": "x",
+            "tasks": [{"t": 0, "model": "msg_drop", "rank": 0}],
+        })
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            Campaign(is_app, is_profile, fault_model="msg_drop", scenario=scen)
+
+    def test_preclassifier_declines_non_bitflip_models(self, is_app, is_profile):
+        with pytest.raises(ValueError, match="single-bit"):
+            Campaign(is_app, is_profile, fault_model="multibit", preclassifier=object())
+
+
+class TestSnapshotFallback:
+    """Non-single-site models must fall back to full replays — and the
+    fallback must be invisible in the results."""
+
+    def test_wire_campaign_identical_with_and_without_snapshot(
+        self, is_app, is_profile, is_points
+    ):
+        metrics = MetricsRegistry()
+        snap = Campaign(
+            is_app, is_profile, tests_per_point=TESTS, param_policy="all",
+            seed=SEED, fault_model="msg_drop", snapshot=True, metrics=metrics,
+        ).run(is_points[:2])
+        full = Campaign(
+            is_app, is_profile, tests_per_point=TESTS, param_policy="all",
+            seed=SEED, fault_model="msg_drop", snapshot=False,
+        ).run(is_points[:2])
+        assert signature(snap) == signature(full)
+        # Every test was declined by the engine, not silently forked.
+        counters = metrics.to_dict()["counters"]
+        assert counters.get("snapshot.fallback_tests", 0) == 2 * TESTS
+
+    def test_multibit_is_snapshot_served(self, is_app, is_profile, is_points):
+        metrics = MetricsRegistry()
+        Campaign(
+            is_app, is_profile, tests_per_point=TESTS, param_policy="all",
+            seed=SEED, fault_model="multibit", snapshot=True, metrics=metrics,
+        ).run(is_points[:1])
+        counters = metrics.to_dict()["counters"]
+        assert counters.get("snapshot.fallback_tests", 0) == 0
+
+
+class TestStore:
+    def test_model_recorded_per_test(self, tmp_path, is_app, is_profile, is_points):
+        db = tmp_path / "c.sqlite"
+        Campaign(
+            is_app, is_profile, tests_per_point=TESTS, param_policy="all",
+            seed=SEED, fault_model="msg_corrupt", db_path=str(db),
+        ).run(is_points[:2])
+        conn = sqlite3.connect(db)
+        models = dict(
+            conn.execute("SELECT model, COUNT(*) FROM results GROUP BY model")
+        )
+        conn.close()
+        assert models == {"msg_corrupt": 2 * TESTS}
+
+    def test_resumed_db_campaign_matches_serial(self, tmp_path, is_app, is_profile, is_points):
+        db = tmp_path / "c.sqlite"
+        kwargs = dict(
+            tests_per_point=TESTS, param_policy="all", seed=SEED,
+            fault_model="msg_corrupt",
+        )
+        first = Campaign(is_app, is_profile, db_path=str(db), **kwargs).run(is_points)
+        resumed = Campaign(
+            is_app, is_profile, db_path=str(db), resume=True, **kwargs
+        ).run(is_points)
+        serial = Campaign(is_app, is_profile, **kwargs).run(is_points)
+        assert signature(first) == signature(resumed) == signature(serial)
+
+
+class TestDigest:
+    """Default campaigns digest exactly as before the model layer."""
+
+    def test_default_model_is_omitted(self, is_app, is_points):
+        base = campaign_digest(is_app, SEED, TESTS, "all", TESTS, list(is_points))
+        explicit = campaign_digest(
+            is_app, SEED, TESTS, "all", TESTS, list(is_points), fault_model="bitflip"
+        )
+        assert base == explicit
+
+    def test_model_and_scenario_change_the_digest(self, is_app, is_points):
+        base = campaign_digest(is_app, SEED, TESTS, "all", TESTS, list(is_points))
+        wire = campaign_digest(
+            is_app, SEED, TESTS, "all", TESTS, list(is_points), fault_model="msg_drop"
+        )
+        scen = campaign_digest(
+            is_app, SEED, TESTS, "all", TESTS, list(is_points), scenario_fp="ab" * 8
+        )
+        assert len({base, wire, scen}) == 3
+
+
+class TestToolErrorExclusion:
+    """The harness-verdict exclusion holds for model and scenario specs."""
+
+    def test_error_rate_excludes_tool_errors_for_model_specs(self):
+        point = InjectionPoint(0, "Scenario", "scenario:x", 0)
+        pr = PointResult(point)
+        spec = ModelSpec(point, "msg_drop", param="payload")
+        for outcome in (Outcome.INF_LOOP, Outcome.SUCCESS, Outcome.TOOL_ERROR):
+            pr.add(InjectionTestResult(spec, outcome, None))
+        assert pr.n_tool_errors == 1
+        assert pr.error_rate == pytest.approx(1 / 2)  # not 1/3, not 2/3

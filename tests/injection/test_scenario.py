@@ -1,0 +1,140 @@
+"""The scenario file format: parsing, canonical serialization,
+fingerprints, and the rejection of malformed documents."""
+
+import pytest
+
+from repro.injection.scenario import (
+    SCENARIO_COLLECTIVE,
+    SCENARIO_VERSION,
+    Scenario,
+    ScenarioError,
+    ScenarioTask,
+    load_scenario,
+    parse_scenario,
+    serialize_scenario,
+)
+
+VALID = {
+    "version": 1,
+    "name": "drop-then-flip",
+    "tasks": [
+        {"t": 0, "model": "msg_drop", "rank": 1},
+        {"t": 2, "model": "bitflip", "rank": 0, "param": "count"},
+        {"t": 3, "model": "multibit", "rank": 0, "param": "buffer", "width": 4},
+        {"t": 5, "model": "rank_stall", "rank": 1, "weight": 100},
+    ],
+}
+
+
+class TestParse:
+    def test_parses_every_task_field(self):
+        scen = parse_scenario(VALID)
+        assert scen.name == "drop-then-flip"
+        assert len(scen.tasks) == 4
+        assert scen.tasks[0] == ScenarioTask(t=0, model="msg_drop", rank=1)
+        assert scen.tasks[2].width == 4
+        assert scen.tasks[3].weight == 100
+
+    def test_accepts_json_text_and_bytes(self):
+        import json
+
+        text = json.dumps(VALID)
+        assert parse_scenario(text) == parse_scenario(text.encode()) == parse_scenario(VALID)
+
+    def test_round_trips_through_serialize(self):
+        scen = parse_scenario(VALID)
+        assert parse_scenario(serialize_scenario(scen)) == scen
+
+    def test_serialize_omits_defaults(self):
+        scen = parse_scenario(VALID)
+        text = serialize_scenario(scen)
+        # msg_drop task carries no param/bit/width/count/weight noise.
+        assert '"bit"' not in text
+        assert text == serialize_scenario(parse_scenario(text))  # canonical
+
+    def test_fingerprint_is_content_addressed(self):
+        a = parse_scenario(VALID)
+        b = parse_scenario({**VALID, "name": "other"})
+        assert a.fingerprint() == parse_scenario(VALID).fingerprint()
+        assert a.fingerprint() != b.fingerprint()
+        assert len(a.fingerprint()) == 16
+
+    def test_anchor_point_carries_the_scenario_name(self):
+        point = parse_scenario(VALID).anchor_point()
+        assert point.collective == SCENARIO_COLLECTIVE
+        assert point.site == "scenario:drop-then-flip"
+        assert (point.rank, point.invocation) == (0, 0)
+
+
+def scenario_with_task(**task):
+    return {"version": 1, "name": "x", "tasks": [{"t": 0, "model": "msg_drop", "rank": 0, **task}]}
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "doc, message",
+        [
+            ("{nope", "not valid JSON"),
+            ('["list"]', "expected a JSON object"),
+            ({"version": 2, "name": "x", "tasks": [{}]}, "unsupported scenario version"),
+            ({"name": "x", "tasks": [{}]}, "unsupported scenario version"),
+            ({"version": 1, "name": "", "tasks": [{}]}, "name must be a non-empty"),
+            ({"version": 1, "name": "x", "tasks": []}, "tasks must be a non-empty list"),
+            ({"version": 1, "name": "x", "tasks": [{}], "extra": 1}, "unknown top-level keys"),
+        ],
+    )
+    def test_document_level_errors(self, doc, message):
+        with pytest.raises(ScenarioError, match=message):
+            parse_scenario(doc)
+
+    @pytest.mark.parametrize(
+        "task, message",
+        [
+            ({"model": "gamma_ray"}, "unknown model"),
+            ({"model": "scenario"}, "unknown model"),  # no nesting
+            ({"t": -1}, "non-negative integer"),
+            ({"t": True}, "non-negative integer"),  # bools are not ints
+            ({"rank": 1.5}, "non-negative integer"),
+            ({"count": 0}, "count must be >= 1"),
+            ({"bit": -3}, "bit must be null"),
+            ({"bit": True}, "bit must be null"),
+            ({"blast_radius": 9}, "unknown keys"),
+            ({"param": 7}, "param must be a string"),
+            ({"param": "frobnicator"}, "names no collective parameter"),
+            ({"param": "count"}, "param only applies to"),  # msg_drop has no params
+        ],
+    )
+    def test_task_level_errors(self, task, message):
+        with pytest.raises(ScenarioError, match=message):
+            parse_scenario(scenario_with_task(**task))
+
+    def test_task_must_be_an_object(self):
+        with pytest.raises(ScenarioError, match="expected an object"):
+            parse_scenario({"version": 1, "name": "x", "tasks": ["drop"]})
+
+    def test_missing_required_keys(self):
+        with pytest.raises(ScenarioError, match="missing required key"):
+            parse_scenario({"version": 1, "name": "x", "tasks": [{"t": 0}]})
+
+
+class TestLoad:
+    def test_load_reads_and_parses(self, tmp_path):
+        path = tmp_path / "s.json"
+        scen = parse_scenario(VALID)
+        path.write_text(serialize_scenario(scen))
+        assert load_scenario(str(path)) == scen
+
+    def test_missing_file_is_a_scenario_error(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read scenario file"):
+            load_scenario(str(tmp_path / "absent.json"))
+
+    def test_parse_errors_carry_the_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioError, match="bad.json"):
+            load_scenario(str(path))
+
+
+def test_version_constant_matches_format():
+    assert SCENARIO_VERSION == 1
+    assert Scenario("n", (ScenarioTask(0, "msg_drop", 0),)).fingerprint()

@@ -1,0 +1,107 @@
+"""Property-based fuzz of the scenario parser.
+
+Two invariants: (1) parse ∘ serialize is the identity on valid
+scenarios (and serialization is canonical — a second round-trip yields
+byte-identical text); (2) ill-typed corruptions of a valid document are
+rejected with :class:`ScenarioError`, never an arbitrary crash.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.injection.scenario import (
+    PARAM_TASK_MODELS,
+    TASK_MODELS,
+    ScenarioError,
+    parse_scenario,
+    serialize_scenario,
+)
+from repro.simmpi import COLLECTIVE_PARAMS
+
+ALL_PARAMS = sorted({p for params in COLLECTIVE_PARAMS.values() for p in params})
+
+small_int = st.integers(min_value=0, max_value=1_000)
+
+
+@st.composite
+def valid_tasks(draw):
+    model = draw(st.sampled_from(TASK_MODELS))
+    task = {
+        "t": draw(small_int),
+        "model": model,
+        "rank": draw(st.integers(min_value=0, max_value=63)),
+    }
+    if draw(st.booleans()):
+        task["count"] = draw(st.integers(min_value=1, max_value=8))
+    if draw(st.booleans()):
+        task["width"] = draw(st.integers(min_value=0, max_value=64))
+    if draw(st.booleans()):
+        task["weight"] = draw(small_int)
+    if model in PARAM_TASK_MODELS:
+        if draw(st.booleans()):
+            task["param"] = draw(st.sampled_from(ALL_PARAMS))
+        if draw(st.booleans()):
+            task["bit"] = draw(st.integers(min_value=0, max_value=255))
+    return task
+
+
+valid_scenarios = st.fixed_dictionaries(
+    {
+        "version": st.just(1),
+        "name": st.text(
+            alphabet=st.characters(whitelist_categories=("L", "N"), max_codepoint=0x7F),
+            min_size=1,
+            max_size=24,
+        ),
+        "tasks": st.lists(valid_tasks(), min_size=1, max_size=6),
+    }
+)
+
+
+@given(valid_scenarios)
+@settings(max_examples=80, deadline=None)
+def test_round_trip_is_identity_and_canonical(doc):
+    scen = parse_scenario(doc)
+    text = serialize_scenario(scen)
+    again = parse_scenario(text)
+    assert again == scen
+    assert serialize_scenario(again) == text  # canonical fixed point
+    assert again.fingerprint() == scen.fingerprint()
+
+
+#: Corruptions applied to one task of a valid document; every one must
+#: be rejected, whatever the rest of the scenario looks like.
+CORRUPTIONS = [
+    lambda task: task.update(t=-1),
+    lambda task: task.update(t=0.5),
+    lambda task: task.update(t=True),
+    lambda task: task.update(t=None),
+    lambda task: task.update(rank="zero"),
+    lambda task: task.update(model="cosmic_ray"),
+    lambda task: task.update(model=None),
+    lambda task: task.update(count=0),
+    lambda task: task.update(bit=-1),
+    lambda task: task.update(warp_factor=9),
+    lambda task: task.update(param=12),
+    lambda task: task.update(param="no_such_parameter"),
+    lambda task: task.pop("model"),
+]
+
+
+@given(valid_scenarios, st.sampled_from(CORRUPTIONS), st.data())
+@settings(max_examples=120, deadline=None)
+def test_ill_typed_tasks_are_rejected(doc, corrupt, data):
+    doc = json.loads(json.dumps(doc))  # deep copy
+    victim = data.draw(st.integers(min_value=0, max_value=len(doc["tasks"]) - 1))
+    corrupt(doc["tasks"][victim])
+    with pytest.raises(ScenarioError):
+        parse_scenario(doc)
+
+
+@given(st.one_of(st.integers(), st.floats(allow_nan=False), st.lists(st.integers()), st.text()))
+@settings(max_examples=40, deadline=None)
+def test_non_object_documents_are_rejected(value):
+    with pytest.raises(ScenarioError):
+        parse_scenario(value)
