@@ -8,6 +8,7 @@ Usage (``python -m repro`` or the ``fastfit`` entry point)::
     fastfit campaign --app mg     --tests 20 --policy buffer
     fastfit campaign --app is     --tests 20 --static-prune
     fastfit run      --db campaigns.sqlite --tests 20
+    fastfit run      --adaptive --ci-width 0.25 --budget 2000 --jobs 4
     fastfit analyze  --app lu     --tests 10 --sample 0.2
     fastfit analyze  --lint-only
     fastfit analyze  --mutant wrong_root
@@ -149,6 +150,35 @@ def _add_campaign_args(p: argparse.ArgumentParser) -> None:
         "the per-point fault draw with the scenario's task list — "
         "incompatible with --fault-model and --static-prune",
     )
+    p.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="points per batch for the ML-driven and adaptive loops "
+        "(default: len(points) // 8, at least 4)",
+    )
+    p.add_argument(
+        "--adaptive", action="store_true",
+        help="adaptive steering: inject in uncertainty-sampled batches "
+        "with per-point sequential stopping (campaign/run only; "
+        "incompatible with --scenario, --static-prune, and "
+        "--checkpoint-dir)",
+    )
+    p.add_argument(
+        "--ci-width", type=float, default=None, metavar="W",
+        help="with --adaptive: stop a point's tests once the Wilson "
+        "interval over its error rate is narrower than W "
+        "(default 0.25; must be in (0, 1])",
+    )
+    p.add_argument(
+        "--budget", type=int, default=None, metavar="TESTS",
+        help="with --adaptive: hard cap on total injected tests "
+        "(never exceeded; default unlimited)",
+    )
+    p.add_argument(
+        "--accuracy-target", type=float, default=None, metavar="ACC",
+        help="with --adaptive: stop steering once the model predicts a "
+        "fresh uncertainty-sampled batch this accurately "
+        "(default 0.65; must be in (0, 1])",
+    )
 
 
 def _tool(args: argparse.Namespace) -> FastFIT:
@@ -235,8 +265,59 @@ def cmd_prune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adaptive(args: argparse.Namespace, ff: FastFIT) -> int:
+    """The ``--adaptive`` branch of campaign/run: steer, then report the
+    per-round trajectory and the accuracy-vs-budget summary."""
+    points = ff.prune().representative_points
+    if args.max_points is not None:
+        points = points[: args.max_points]
+    res = ff.steer(
+        accuracy_target=(
+            0.65 if args.accuracy_target is None else args.accuracy_target
+        ),
+        ci_width=0.25 if args.ci_width is None else args.ci_width,
+        budget=args.budget,
+        batch_size=args.batch_size,
+        points=points,
+    )
+    rows = []
+    spent = 0
+    for r in res.rounds:
+        spent += r.tests_run
+        rows.append([
+            r.round_no,
+            len(r.point_indices),
+            r.tests_run,
+            r.tests_saved,
+            spent,
+            "-" if r.accuracy is None else f"{r.accuracy:.0%}",
+            "-" if r.mean_uncertainty is None else f"{r.mean_uncertainty:.3f}",
+        ])
+    print(
+        render_table(
+            ["round", "points", "tests", "saved", "budget", "accuracy", "uncertainty"],
+            rows,
+            title=f"adaptive steering over {len(points)} candidate points",
+        )
+    )
+    print(
+        f"\nstopped: {res.stop_reason} "
+        f"(target {res.accuracy_target:.0%} "
+        f"{'reached' if res.reached_target else 'NOT reached'})"
+    )
+    print(
+        f"tested {len(res.tested)} points ({res.tests_run} tests, "
+        f"{res.tests_saved} saved by sequential stopping), "
+        f"predicted {len(res.predicted)} ({res.test_reduction:.1%} of "
+        f"points never injected)"
+    )
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     ff = _tool(args)
+    if getattr(args, "adaptive", False):
+        return _cmd_adaptive(args, ff)
     if ff.scenario is not None:
         # A scenario brings its own timeline; pruning the parameter
         # fault space would be meaningless.  FastFIT.campaign() resolves
@@ -1012,7 +1093,6 @@ def build_parser() -> argparse.ArgumentParser:
     _add_app_args(p)
     _add_campaign_args(p)
     p.add_argument("--threshold", type=float, default=0.65)
-    p.add_argument("--batch-size", type=int, default=None)
     p.set_defaults(fn=cmd_learn)
 
     p = sub.add_parser(
@@ -1247,6 +1327,61 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"fault model, not {fault_model!r}",
             file=sys.stderr,
         )
+        return 2
+    adaptive = getattr(args, "adaptive", False)
+    if not adaptive:
+        for flag, name in (
+            ("ci_width", "--ci-width"),
+            ("budget", "--budget"),
+            ("accuracy_target", "--accuracy-target"),
+        ):
+            if getattr(args, flag, None) is not None:
+                print(f"{name} requires --adaptive", file=sys.stderr)
+                return 2
+    else:
+        if args.command not in ("campaign", "run"):
+            print(
+                "--adaptive only applies to 'campaign' and 'run'",
+                file=sys.stderr,
+            )
+            return 2
+        if getattr(args, "scenario", None):
+            print("--adaptive and --scenario are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        if getattr(args, "static_prune", False):
+            print(
+                "--adaptive is incompatible with --static-prune "
+                "(sequential stopping needs every test slot executed)",
+                file=sys.stderr,
+            )
+            return 2
+        if getattr(args, "checkpoint_dir", None):
+            print(
+                "--adaptive persists through --db only, not "
+                "--checkpoint-dir (steering rounds need the store)",
+                file=sys.stderr,
+            )
+            return 2
+        ci_width = getattr(args, "ci_width", None)
+        if ci_width is not None and not 0.0 < ci_width <= 1.0:
+            print(f"--ci-width must be in (0, 1], got {ci_width}",
+                  file=sys.stderr)
+            return 2
+        budget = getattr(args, "budget", None)
+        if budget is not None and budget < 1:
+            print(f"--budget must be >= 1 test, got {budget}", file=sys.stderr)
+            return 2
+        accuracy_target = getattr(args, "accuracy_target", None)
+        if accuracy_target is not None and not 0.0 < accuracy_target <= 1.0:
+            print(
+                f"--accuracy-target must be in (0, 1], got {accuracy_target}",
+                file=sys.stderr,
+            )
+            return 2
+    batch_size = getattr(args, "batch_size", None)
+    if batch_size is not None and batch_size < 1:
+        print(f"--batch-size must be >= 1, got {batch_size}", file=sys.stderr)
         return 2
     unit_timeout = getattr(args, "unit_timeout", None)
     if unit_timeout is not None and unit_timeout <= 0:

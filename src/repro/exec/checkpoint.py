@@ -58,6 +58,7 @@ def campaign_digest(
     layout: str = "p1",
     fault_model: str = "bitflip",
     scenario_fp: str | None = None,
+    extra: dict | None = None,
 ) -> str:
     """Hash of everything the campaign's results are a function of.
 
@@ -66,8 +67,14 @@ def campaign_digest(
     layout (``"p1"``) is deliberately omitted from the payload so every
     digest computed before the tag existed stays byte-identical —
     pre-existing checkpoints keep resuming.  The same omit-when-default
-    rule applies to ``fault_model`` (``"bitflip"``) and ``scenario_fp``
-    (``None``): single-bit campaigns digest exactly as they always have.
+    rule applies to ``fault_model`` (``"bitflip"``), ``scenario_fp``
+    (``None``), and ``extra`` (``None``): single-bit campaigns digest
+    exactly as they always have.
+
+    ``extra`` is a JSON-serialisable dict for drivers whose results
+    depend on more than the plain campaign axes — the adaptive steering
+    loop hashes its batching/stopping parameters here so a resumed
+    steering run refuses units from a differently-steered campaign.
     """
     fields = {
         "app": app.name,
@@ -89,6 +96,8 @@ def campaign_digest(
         fields["fault_model"] = fault_model
     if scenario_fp is not None:
         fields["scenario"] = scenario_fp
+    if extra:
+        fields["extra"] = extra
     payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
 

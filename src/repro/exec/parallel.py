@@ -105,6 +105,7 @@ class ParallelCampaign:
         snapshot: bool = True,
         fault_model: str = "bitflip",
         scenario=None,
+        stopper=None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -143,6 +144,11 @@ class ParallelCampaign:
         #: :mod:`repro.injection.models`), forwarded to every worker.
         self.fault_model = fault_model
         self.scenario = scenario
+        #: Optional :class:`~repro.steer.SequentialStopper`, forwarded
+        #: to every worker.  Forces whole-point units: the stop decision
+        #: consumes the ordered per-point test prefix, which only one
+        #: owner can observe.
+        self.stopper = stopper
         #: Unit ids given up on during the last :meth:`run` (their tests
         #: carry synthetic ``TOOL_ERROR`` verdicts).
         self.quarantined: list[str] = []
@@ -171,6 +177,7 @@ class ParallelCampaign:
             snapshot=campaign.snapshot,
             fault_model=campaign.fault_model,
             scenario=campaign.scenario,
+            stopper=campaign.stopper,
         )
 
     # -- quarantine synthesis ------------------------------------------
@@ -209,14 +216,38 @@ class ParallelCampaign:
 
     # -- execution -----------------------------------------------------
 
-    def run(self, points: Sequence[InjectionPoint]) -> "CampaignResult":
+    def run(
+        self,
+        points: Sequence[InjectionPoint],
+        point_indices: Sequence[int] | None = None,
+        digest: str | None = None,
+    ) -> "CampaignResult":
         from ..injection.campaign import CampaignResult, PointResult
 
         points = list(points)
+        # Global point indices: drive the SeedSequence spawn keys and the
+        # unit ids, so a batch driver running a subset gets exactly the
+        # units a full campaign would have produced at those points.
+        if point_indices is None:
+            point_indices = list(range(len(points)))
+        else:
+            point_indices = [int(i) for i in point_indices]
+            if len(point_indices) != len(points):
+                raise ValueError(
+                    f"{len(point_indices)} point_indices for {len(points)} points"
+                )
+            if len(set(point_indices)) != len(point_indices):
+                raise ValueError("point_indices must be unique")
+        pos_of = {g: p for p, g in enumerate(point_indices)}
         # Site-major layout only when the snapshot engine will serve the
         # units and the caller did not pin an explicit unit size.
         layout = "s1" if (self.snapshot and self.unit_tests is None) else "p1"
-        if layout == "s1":
+        if self.stopper is not None:
+            # Whole-point units regardless of layout: the stop decision
+            # is a function of the ordered per-point prefix, so exactly
+            # one worker must own all of a point's tests.
+            unit_tests = max(1, self.tests_per_point)
+        elif layout == "s1":
             unit_tests = max(1, self.tests_per_point)
         else:
             unit_tests = (
@@ -224,30 +255,34 @@ class ParallelCampaign:
                 if self.unit_tests is not None
                 else default_unit_tests(self.tests_per_point)
             )
-        units = make_units(
-            len(points), self.tests_per_point, unit_tests,
-            points=points, layout=layout,
-        )
+        units = [
+            WorkUnit(point_indices[u.point_index], u.test_start, u.test_stop)
+            for u in make_units(
+                len(points), self.tests_per_point, unit_tests,
+                points=points, layout=layout,
+            )
+        ]
         total_tests = len(points) * self.tests_per_point
         self.quarantined = []
 
         store = None
         results: dict[str, list[TestResult]] = {}
         if self.checkpoint_dir is not None or self.db_path is not None:
-            digest = campaign_digest(
-                self.app,
-                self.seed,
-                self.tests_per_point,
-                self.param_policy,
-                unit_tests,
-                points,
-                algorithms=self.algorithms,
-                layout=layout,
-                fault_model=self.fault_model,
-                scenario_fp=(
-                    None if self.scenario is None else self.scenario.fingerprint()
-                ),
-            )
+            if digest is None:
+                digest = campaign_digest(
+                    self.app,
+                    self.seed,
+                    self.tests_per_point,
+                    self.param_policy,
+                    unit_tests,
+                    points,
+                    algorithms=self.algorithms,
+                    layout=layout,
+                    fault_model=self.fault_model,
+                    scenario_fp=(
+                        None if self.scenario is None else self.scenario.fingerprint()
+                    ),
+                )
             if self.db_path is not None:
                 # Lazy import: repro.store depends on repro.exec.sharding.
                 from ..store import DBCheckpointStore
@@ -358,18 +393,18 @@ class ParallelCampaign:
                     state = WorkerState(
                         self.app, self.profile, self.param_policy, self.seed,
                         self.algorithms, self.snapshot,
-                        self.fault_model, self.scenario,
+                        self.fault_model, self.scenario, self.stopper,
                     )
                     for unit in pending:
-                        complete(*state.execute(unit, points[unit.point_index]))
+                        complete(*state.execute(unit, points[pos_of[unit.point_index]]))
                 else:
                     payload = pickle.dumps(
                         (self.app, self.profile, self.param_policy, self.seed,
                          self.algorithms, self.snapshot,
-                         self.fault_model, self.scenario),
+                         self.fault_model, self.scenario, self.stopper),
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )
-                    tasks = [(u, points[u.point_index]) for u in pending]
+                    tasks = [(u, points[pos_of[u.point_index]]) for u in pending]
                     pool = SupervisedPool(
                         payload,
                         jobs=min(self.jobs, max(1, len(pending))),
@@ -410,8 +445,9 @@ class ParallelCampaign:
         grouped = units_of_point(units)
         tallies: list[tuple] = []
         for i, point in enumerate(points):
+            g = point_indices[i]
             pr = PointResult(point)
-            for unit in grouped.get(i, ()):
+            for unit in grouped.get(g, ()):
                 for test in results[unit.unit_id]:
                     pr.add(test)
             result.points[point] = pr
@@ -419,7 +455,7 @@ class ParallelCampaign:
                 pr._synced_counts().items(), key=lambda kv: kv[0].name
             ):
                 tallies.append(
-                    (i, point.rank, point.collective, point.site,
+                    (g, point.rank, point.collective, point.site,
                      point.invocation, outcome.name, n)
                 )
             if self.metrics is not None:

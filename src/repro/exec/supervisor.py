@@ -139,12 +139,18 @@ class WorkerState:
         snapshot: bool = True,
         fault_model: str = "bitflip",
         scenario=None,
+        stopper=None,
     ):
         self.app = app
         self.param_policy = param_policy
         self.seed = seed
         self.fault_model = fault_model
         self.scenario = scenario
+        #: Optional :class:`~repro.steer.SequentialStopper`.  Units then
+        #: carry a whole point each (the engine guarantees it) and the
+        #: worker serves tests one at a time, truncating the stream at
+        #: the same index any other scheduling would.
+        self.stopper = stopper
         # The profile arrives pickled; the runner derives its hang budget
         # from it without re-running the golden job.
         self.runner = InjectionRunner(app, profile, algorithms=algorithms)
@@ -162,27 +168,64 @@ class WorkerState:
         registry = MetricsRegistry()
         tests: list[TestResult] = []
         with registry.time("exec.unit_s"):
-            tasks: list[tuple[FaultSpec, np.random.Generator]] = []
-            for t in range(unit.test_start, unit.test_stop):
-                seq = np.random.SeedSequence(
-                    entropy=self.seed, spawn_key=(unit.point_index, t)
-                )
-                rng = np.random.default_rng(seq)
-                spec = draw_spec(
-                    point, rng,
-                    policy=self.param_policy,
-                    model=self.fault_model,
-                    scenario=self.scenario,
-                )
-                tasks.append((spec, rng))
-            if self.engine is not None:
-                tests = self.engine.serve_point(point, tasks, metrics=registry)
+            if self.stopper is not None:
+                tests = self._execute_sequential(unit, point, registry)
             else:
-                tests = [self.runner.run_one(spec, rng) for spec, rng in tasks]
+                tasks: list[tuple[FaultSpec, np.random.Generator]] = []
+                for t in range(unit.test_start, unit.test_stop):
+                    seq = np.random.SeedSequence(
+                        entropy=self.seed, spawn_key=(unit.point_index, t)
+                    )
+                    rng = np.random.default_rng(seq)
+                    spec = draw_spec(
+                        point, rng,
+                        policy=self.param_policy,
+                        model=self.fault_model,
+                        scenario=self.scenario,
+                    )
+                    tasks.append((spec, rng))
+                if self.engine is not None:
+                    tests = self.engine.serve_point(point, tasks, metrics=registry)
+                else:
+                    tests = [self.runner.run_one(spec, rng) for spec, rng in tasks]
         registry.counter("campaign.tests").inc(len(tests))
+        saved = unit.n_tests - len(tests)
+        if saved > 0:
+            registry.counter("campaign.tests_saved").inc(saved)
         for test in tests:
             registry.counter(f"campaign.outcome.{test.outcome.name}").inc()
         return unit.unit_id, tests, registry
+
+    def _execute_sequential(
+        self, unit: WorkUnit, point: InjectionPoint, registry: MetricsRegistry
+    ) -> list[TestResult]:
+        """Serve tests one at a time, truncating at the stopper's index.
+
+        The decision is a pure function of the ordered result prefix, so
+        this truncates exactly where a serial loop would.  Under the
+        snapshot engine the point stays parked across calls, so the
+        per-test ``serve_point`` only pays the fork, not the warm-up.
+        """
+        tests: list[TestResult] = []
+        for t in range(unit.test_start, unit.test_stop):
+            seq = np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(unit.point_index, t)
+            )
+            rng = np.random.default_rng(seq)
+            spec = draw_spec(
+                point, rng,
+                policy=self.param_policy,
+                model=self.fault_model,
+                scenario=self.scenario,
+            )
+            if self.engine is not None:
+                [res] = self.engine.serve_point(point, [(spec, rng)], metrics=registry)
+            else:
+                res = self.runner.run_one(spec, rng)
+            tests.append(res)
+            if self.stopper.should_stop(tests):
+                break
+        return tests
 
 
 @dataclass(frozen=True)

@@ -306,6 +306,57 @@ class FastFIT:
                 param_policy=self.param_policy,
                 seed=self.seed,
                 metrics=self.metrics,
+                jobs=self.jobs,
+                db_path=self.db_path,
+                resume=self.resume,
+                snapshot=self.snapshot,
+            )
+
+    def steer(
+        self,
+        accuracy_target: float = 0.65,
+        ci_width: float = 0.25,
+        budget: int | None = None,
+        labeler: Labeler | None = None,
+        label_names: tuple[str, ...] | None = None,
+        batch_size: int | None = None,
+        min_tests: int = 6,
+        points: Sequence[InjectionPoint] | None = None,
+    ):
+        """Adaptive steering over the pruned representatives: uncertainty
+        sampling plus per-point sequential stopping (see
+        :func:`repro.steer.adaptive_campaign`)."""
+        from .steer import adaptive_campaign
+
+        if points is None:
+            points = self.prune().representative_points
+        logger.info(
+            "adaptive campaign: target %.2f, ci width %.2f, budget %s",
+            accuracy_target, ci_width, budget,
+        )
+        with self.metrics.time("phase.steer_s"):
+            return adaptive_campaign(
+                self.app,
+                self.profile(),
+                points,
+                labeler=labeler,
+                label_names=label_names,
+                accuracy_target=accuracy_target,
+                ci_width=ci_width,
+                budget=budget,
+                tests_per_point=self.tests_per_point,
+                batch_size=batch_size,
+                param_policy=self.param_policy,
+                seed=self.seed,
+                min_tests=min_tests,
+                metrics=self.metrics,
+                jobs=self.jobs,
+                db_path=self.db_path,
+                resume=self.resume,
+                snapshot=self.snapshot,
+                fault_model=self.fault_model,
+                progress_sinks=self.progress_sinks,
+                progress_every=self.progress_every,
             )
 
     # -- one-shot studies ----------------------------------------------------

@@ -271,6 +271,7 @@ class Campaign:
         snapshot: bool = True,
         fault_model: str = "bitflip",
         scenario: Scenario | None = None,
+        stopper=None,
     ):
         self.app = app
         self.profile = profile
@@ -321,6 +322,16 @@ class Campaign:
                 "static pruning (preclassifier) is incompatible with "
                 "jobs>1, checkpoint_dir, and db_path"
             )
+        if stopper is not None and preclassifier is not None:
+            # Statically resolved slots never execute, so the stopper's
+            # ordered-prefix contract (test 0, 1, 2, … of *executed*
+            # results) would depend on which slots the preclassifier
+            # proved — a different rule set would silently change where
+            # every point stops.
+            raise ValueError(
+                "sequential stopping (stopper) is incompatible with "
+                "static pruning (preclassifier)"
+            )
         self.jobs = jobs
         self.progress_every = progress_every
         self.checkpoint_dir = checkpoint_dir
@@ -351,6 +362,11 @@ class Campaign:
         #: set, every test replays the timeline (under its synthetic
         #: anchor point) instead of drawing single faults.
         self.scenario = scenario
+        #: Optional :class:`~repro.steer.SequentialStopper`: end each
+        #: point's test stream early once its Wilson interval closes.
+        #: The decision is a pure function of the ordered test prefix,
+        #: so stopped campaigns stay bit-identical across schedulings.
+        self.stopper = stopper
         self.runner = InjectionRunner(app, profile, algorithms=algorithms)
         self._engine = None
 
@@ -370,6 +386,8 @@ class Campaign:
 
     def run_point(self, point: InjectionPoint, point_index: int = 0) -> PointResult:
         """All tests for one injection point."""
+        if self.stopper is not None:
+            return self._run_point_sequential(point, point_index)
         pr = PointResult(point)
         #: ``(slot, TestResult)`` for statically predicted tests and
         #: ``(slot, (spec, rng))`` for tests that must execute, so engine
@@ -428,13 +446,74 @@ class Campaign:
             self.metrics.histogram("campaign.point_error_rate").observe(pr.error_rate)
         return pr
 
-    def run(self, points: Sequence[InjectionPoint] | Iterable[InjectionPoint]) -> CampaignResult:
-        """Run the campaign over ``points`` (kept in the given order)."""
+    def _run_point_sequential(self, point: InjectionPoint, point_index: int) -> PointResult:
+        """Serve one test at a time, stopping once the stopper says the
+        point's outcome histogram has converged.
+
+        Tests execute strictly in test-index order, so the truncation
+        index is a pure function of ``(seed, point_index)`` — identical
+        under any scheduling.  Per-test serving costs almost nothing
+        extra under the snapshot engine: the fault-free prefix snapshot
+        is cached at the park, so every call after the first
+        fast-forwards ~zero steps before forking.
+        """
+        pr = PointResult(point)
+        for t in range(self.tests_per_point):
+            rng = self._rng_for(point_index, t)
+            spec = draw_spec(
+                point, rng,
+                policy=self.param_policy,
+                model=self.fault_model,
+                scenario=self.scenario,
+            )
+            if self.snapshot:
+                [res] = self._snapshot_engine().serve_point(point, [(spec, rng)])
+            else:
+                res = self.runner.run_one(spec, rng)
+            pr.add(res)
+            if self.stopper.should_stop(pr.tests):
+                break
+        if self.metrics is not None:
+            self.metrics.counter("campaign.tests").inc(pr.n_tests)
+            saved = self.tests_per_point - pr.n_tests
+            if saved:
+                self.metrics.counter("campaign.tests_saved").inc(saved)
+            for outcome, n in pr._synced_counts().items():
+                self.metrics.counter(f"campaign.outcome.{outcome.name}").inc(n)
+            self.metrics.histogram("campaign.point_error_rate").observe(pr.error_rate)
+        return pr
+
+    def run(
+        self,
+        points: Sequence[InjectionPoint] | Iterable[InjectionPoint],
+        point_indices: Sequence[int] | None = None,
+        digest: str | None = None,
+    ) -> CampaignResult:
+        """Run the campaign over ``points`` (kept in the given order).
+
+        ``point_indices`` optionally names each point's *global* index —
+        the coordinate fed into the ``SeedSequence`` spawn key and the
+        work-unit ids — so a driver running a subset batch (ML-driven or
+        adaptive steering) reproduces exactly the tests a full campaign
+        would have run at those points.  Default: ``0..len(points)-1``.
+
+        ``digest`` overrides the store identity for checkpoint/database
+        runs; batch drivers pass one digest computed over the *full*
+        candidate list so every batch lands in the same campaign row.
+        """
         points = list(points)
+        if point_indices is not None:
+            point_indices = [int(i) for i in point_indices]
+            if len(point_indices) != len(points):
+                raise ValueError(
+                    f"{len(point_indices)} point_indices for {len(points)} points"
+                )
         if self.jobs != 1 or self.checkpoint_dir is not None or self.db_path is not None:
             from ..exec.parallel import ParallelCampaign
 
-            return ParallelCampaign.from_campaign(self).run(points)
+            return ParallelCampaign.from_campaign(self).run(
+                points, point_indices=point_indices, digest=digest
+            )
         tracker = None
         if self.progress_sinks:
             from ..obs.progress import ProgressTracker
@@ -450,12 +529,13 @@ class Campaign:
         n = len(points)
         try:
             for i, point in enumerate(points):
+                idx = point_indices[i] if point_indices is not None else i
                 if self.metrics is not None:
                     with self.metrics.time("campaign.point_s"):
-                        result.points[point] = self.run_point(point, point_index=i)
+                        result.points[point] = self.run_point(point, point_index=idx)
                     self.metrics.counter("campaign.points").inc()
                 else:
-                    result.points[point] = self.run_point(point, point_index=i)
+                    result.points[point] = self.run_point(point, point_index=idx)
                 if tracker is not None:
                     tracker.unit_done(result.points[point].tests)
                 if self.progress is not None and (

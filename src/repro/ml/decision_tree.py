@@ -185,7 +185,10 @@ class DecisionTreeClassifier:
         for i, x in enumerate(X):
             counts = self._leaf_for(x).counts
             total = counts.sum()
-            out[i] = counts / total if total else counts
+            # Leaf counts keep their fit-time width; n_classes may have
+            # been widened afterwards (a forest aligning its members to
+            # the full label set), so write into the prefix.
+            out[i, : len(counts)] = counts / total if total else counts
         return out
 
     # -- introspection ------------------------------------------------------

@@ -7,7 +7,6 @@ average the per-class accuracies.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +35,9 @@ class EvaluationResult:
     repeats: int
 
     def as_dict(self) -> dict[str, float]:
+        """Per-class recalls by label name.  Classes unseen across every
+        split (their ``per_class`` entry is NaN) are omitted entirely, so
+        the NaN never propagates into downstream aggregation."""
         return {
             name: float(v)
             for name, v in zip(self.label_names, self.per_class)
@@ -71,9 +73,15 @@ def evaluate_model(
         per_class_runs.append(per_class_accuracy(y[test_idx], pred, n_classes))
     if not accs:
         return EvaluationResult(0.0, np.full(n_classes, np.nan), label_names, 0)
+    # Mean over the splits that actually saw each class.  Computed from
+    # explicit seen-counts rather than nanmean so a class absent from
+    # every split yields NaN without ever *raising* a mean-of-empty
+    # RuntimeWarning — callers running with warnings-as-errors included.
     stacked = np.vstack(per_class_runs)
-    with np.errstate(invalid="ignore"), warnings.catch_warnings():
-        # Classes absent from every split average to NaN, by design.
-        warnings.simplefilter("ignore", category=RuntimeWarning)
-        per_class = np.nanmean(stacked, axis=0)
+    seen = ~np.isnan(stacked)
+    counts = seen.sum(axis=0)
+    sums = np.where(seen, stacked, 0.0).sum(axis=0)
+    per_class = np.divide(
+        sums, counts, out=np.full(n_classes, np.nan), where=counts > 0
+    )
     return EvaluationResult(float(np.mean(accs)), per_class, label_names, len(accs))

@@ -82,6 +82,10 @@ def ml_driven_campaign(
     seed: int = 0,
     n_estimators: int = 24,
     metrics=None,
+    jobs: int = 1,
+    db_path=None,
+    resume: bool = False,
+    snapshot: bool = True,
 ) -> MLDrivenResult:
     """Run the inject → learn → verify loop of FastFIT's learning phase.
 
@@ -90,6 +94,13 @@ def ml_driven_campaign(
     Fig. 6).  ``metrics`` optionally records per-batch verification
     accuracy and the final tested/predicted split under ``ml.*`` (the
     inner campaign also records ``campaign.*``).
+
+    ``jobs``/``db_path``/``resume`` route each batch through the
+    sharded engine and/or the SQLite store with bit-identical results:
+    batches carry their global point indices (the ``SeedSequence``
+    contract), share one digest computed over the full candidate list,
+    and a killed-and-resumed run replays recorded units to the same
+    :class:`MLDrivenResult` an uninterrupted one produces.
     """
     if labeler is None:
         labeler, label_names = level_labeler()
@@ -103,6 +114,34 @@ def ml_driven_campaign(
     if batch_size is None:
         batch_size = max(4, len(shuffled) // 8)
 
+    digest = None
+    if db_path is not None:
+        from ..exec.checkpoint import campaign_digest
+        from ..exec.sharding import default_unit_tests
+
+        layout = "s1" if snapshot else "p1"
+        unit_tests = (
+            max(1, tests_per_point)
+            if layout == "s1"
+            else default_unit_tests(tests_per_point)
+        )
+        digest = campaign_digest(
+            app,
+            seed,
+            tests_per_point,
+            param_policy,
+            unit_tests,
+            points,
+            layout=layout,
+            extra={
+                "ml": {
+                    "threshold": threshold,
+                    "batch_size": batch_size,
+                    "n_estimators": n_estimators,
+                }
+            },
+        )
+
     campaign = Campaign(
         app,
         profile,
@@ -110,6 +149,10 @@ def ml_driven_campaign(
         param_policy=param_policy,
         seed=seed,
         metrics=metrics,
+        jobs=jobs,
+        db_path=db_path,
+        resume=resume,
+        snapshot=snapshot,
     )
     result = MLDrivenResult(threshold=threshold, label_names=label_names)
 
@@ -123,10 +166,20 @@ def ml_driven_campaign(
     while idx < len(shuffled):
         batch = shuffled[idx : idx + batch_size]
         idx += len(batch)
-        measured = {
-            pt: campaign.run_point(pt, point_index=order[idx - len(batch) + j])
-            for j, pt in enumerate(batch)
-        }
+        batch_indices = [order[idx - len(batch) + j] for j in range(len(batch))]
+        if jobs != 1 or db_path is not None:
+            # Sharded/persistent path: one Campaign.run per batch, global
+            # indices preserved, all batches in one store campaign row.
+            sub = campaign.run(batch, point_indices=batch_indices, digest=digest)
+            measured = {pt: sub.points[pt] for pt in batch}
+            if db_path is not None:
+                # Later batches must not cascade-wipe the campaign row.
+                campaign.resume = True
+        else:
+            measured = {
+                pt: campaign.run_point(pt, point_index=pi)
+                for pt, pi in zip(batch, batch_indices)
+            }
 
         if model is not None:
             # Verification: predict the fresh batch, compare to reality.

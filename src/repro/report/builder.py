@@ -13,6 +13,7 @@ Per-campaign sections (each with a stable anchor for CI checks):
 ``heatmap``      per-point outcome heat map with error rates
 ``sensitivity``  error-rate level distributions (paper Figs. 8/11)
 ``breakdown``    outcomes by collective and by injected parameter
+``steering``     adaptive-steering rounds and the accuracy-vs-budget curve
 ``forensics``    quarantined units, tool errors, deadlock wait-for graphs
 """
 
@@ -33,6 +34,7 @@ SECTIONS = (
     ("heatmap", "Per-point outcome heatmap"),
     ("sensitivity", "Sensitivity levels"),
     ("breakdown", "Outcome breakdown"),
+    ("steering", "Adaptive steering"),
     ("forensics", "Forensics"),
 )
 
@@ -269,6 +271,49 @@ def _breakdown_section(db: CampaignDB, c: sqlite3.Row) -> str:
     return section("breakdown", "Outcome breakdown", body)
 
 
+def _steering_section(db: CampaignDB, c: sqlite3.Row) -> str:
+    rows = db.steering_rounds(c["id"])
+    if not rows:
+        return section(
+            "steering", "Adaptive steering",
+            '<p class="muted">not an adaptive campaign '
+            "(run with --adaptive --db to record steering rounds)</p>",
+        )
+    curve = [
+        (r["budget_used"], r["accuracy"])
+        for r in rows
+        if r["accuracy"] is not None
+    ]
+    chart = (
+        svg_timeline(curve, label="verification accuracy over injected tests")
+        if len(curve) >= 2
+        else ""
+    )
+    body_rows = []
+    for r in rows:
+        body_rows.append(
+            (
+                r["round"],
+                r["n_points"],
+                r["tests_run"],
+                r["tests_saved"],
+                r["budget_used"],
+                "—" if r["accuracy"] is None else f"{r['accuracy']:.0%}",
+                "—"
+                if r["mean_uncertainty"] is None
+                else f"{r['mean_uncertainty']:.3f}",
+                r["stop_reason"] or "—",
+            )
+        )
+    rounds = table(
+        ("round", "points", "tests", "saved", "budget used", "accuracy",
+         "mean uncertainty", "stop reason"),
+        body_rows,
+        numeric=(0, 1, 2, 3, 4),
+    )
+    return section("steering", "Adaptive steering", chart + rounds)
+
+
 def _forensics_section(db: CampaignDB, c: sqlite3.Row) -> str:
     parts = []
     quarantined = db.quarantine_records(c["id"])
@@ -338,6 +383,7 @@ def _campaign_body(db: CampaignDB, c: sqlite3.Row) -> str:
         + _heatmap_section(points)
         + _sensitivity_section(points)
         + _breakdown_section(db, c)
+        + _steering_section(db, c)
         + _forensics_section(db, c)
     )
 

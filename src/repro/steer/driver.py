@@ -1,0 +1,401 @@
+"""The adaptive steering loop: uncertainty-sampled injection batches
+with per-point sequential stopping.
+
+``ml_driven_campaign`` (paper § III-C) walks the point space in a fixed
+shuffled order and spends the full ``tests_per_point`` budget at every
+point it visits.  :func:`adaptive_campaign` attacks both axes at once:
+
+* **which points** — after every batch the freshly retrained forest
+  scores the unexplored space and the next batch is the *most
+  uncertain* slice of it (:mod:`repro.steer.sampler`), so the model's
+  decision boundary gets measured first and confidently-predicted
+  regions are deferred (often forever);
+* **how many tests per point** — every point's test stream ends early
+  once the Wilson interval over its outcome histogram closes below
+  ``ci_width`` (:mod:`repro.steer.stopping`), so degenerate points cost
+  ~``z²(1-w)/w`` tests instead of the full budget.
+
+Determinism contract
+--------------------
+The whole trajectory — batch membership, per-point truncation indices,
+round accuracies — is a pure function of ``(app, points, config)``:
+
+* test RNGs come from the campaign's
+  ``SeedSequence(seed, (global_point_index, test_index))`` contract, and
+  batches pass their **global** indices through
+  ``Campaign.run(point_indices=...)``, so a point draws identical test
+  streams whether it is visited in round 0 or round 5 (or by a plain
+  campaign);
+* stopping is a pure function of each point's ordered result prefix
+  (see :class:`~repro.steer.stopping.SequentialStopper`);
+* batch selection is a pure sort over model scores, and the model is a
+  pure function of the (deterministic) results it was fitted on.
+
+Therefore serial, ``jobs=N``, and killed-and-resumed (``--db`` +
+``resume=True``) runs produce bit-identical trajectories.
+
+Store identity
+--------------
+All batches of one steering run land in **one** campaign row: the
+digest is computed once over the *full* candidate list plus the
+steering parameters (via ``campaign_digest(extra=...)``) and passed to
+every ``Campaign.run`` as an override.  A resumed run recomputes the
+same digest, replays recorded units from the store, and re-derives the
+identical trajectory from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..apps.base import Application
+from ..injection.campaign import Campaign, PointResult
+from ..injection.space import InjectionPoint
+from ..ml.features import features_matrix
+from ..ml.metrics import accuracy
+from ..ml.random_forest import RandomForestClassifier
+from ..profiling.profiler import ApplicationProfile
+from ..pruning.mldriven import Labeler, level_labeler
+from .sampler import SAMPLER_MODES, select_batch, uncertainty_scores
+from .stopping import DEFAULT_Z, SequentialStopper
+
+
+@dataclass(frozen=True)
+class SteeringRound:
+    """One inject → verify → retrain round of the adaptive loop."""
+
+    round_no: int
+    #: Global indices of the points injected this round (sorted).
+    point_indices: tuple[int, ...]
+    #: ``len(point_indices) * tests_per_point`` — the fixed-budget cost.
+    tests_planned: int
+    #: Tests actually executed (sequential stopping truncates streams).
+    tests_run: int
+    #: Verification accuracy of the *incoming* model on this round's
+    #: fresh batch; ``None`` for round 0 (no model existed yet).
+    accuracy: float | None
+    #: Mean acquisition score of the selected batch; ``None`` for the
+    #: seed round (selection was order-based, not model-based).
+    mean_uncertainty: float | None
+
+    @property
+    def tests_saved(self) -> int:
+        return max(0, self.tests_planned - self.tests_run)
+
+
+@dataclass
+class SteeringResult:
+    """Outcome of one adaptive steering campaign."""
+
+    accuracy_target: float
+    ci_width: float
+    budget: int | None
+    label_names: tuple[str, ...]
+    tested: dict[InjectionPoint, PointResult] = field(default_factory=dict)
+    predicted: dict[InjectionPoint, int] = field(default_factory=dict)
+    rounds: list[SteeringRound] = field(default_factory=list)
+    model: RandomForestClassifier | None = None
+    reached_target: bool = False
+    #: Why the loop ended: ``"accuracy"`` (target reached),
+    #: ``"budget"`` (next batch would not fit), or ``"exhausted"``
+    #: (every point measured — the degenerate full campaign).
+    stop_reason: str = ""
+
+    @property
+    def total_points(self) -> int:
+        return len(self.tested) + len(self.predicted)
+
+    @property
+    def tests_run(self) -> int:
+        return sum(r.tests_run for r in self.rounds)
+
+    @property
+    def tests_saved(self) -> int:
+        """Tests skipped *within* visited points by sequential stopping
+        (point-level skips show up in :attr:`predicted` instead)."""
+        return sum(r.tests_saved for r in self.rounds)
+
+    @property
+    def test_reduction(self) -> float:
+        """Fraction of points resolved by prediction instead of injection."""
+        total = self.total_points
+        return len(self.predicted) / total if total else 0.0
+
+    @property
+    def final_accuracy(self) -> float:
+        for r in reversed(self.rounds):
+            if r.accuracy is not None:
+                return r.accuracy
+        return 0.0
+
+    def curve(self) -> list[tuple[int, float]]:
+        """The accuracy-vs-budget curve: ``(cumulative tests, accuracy)``
+        per verified round — the report's steering plot."""
+        out: list[tuple[int, float]] = []
+        spent = 0
+        for r in self.rounds:
+            spent += r.tests_run
+            if r.accuracy is not None:
+                out.append((spent, r.accuracy))
+        return out
+
+
+def adaptive_campaign(
+    app: Application,
+    profile: ApplicationProfile,
+    points: Sequence[InjectionPoint],
+    labeler: Labeler | None = None,
+    label_names: tuple[str, ...] | None = None,
+    accuracy_target: float = 0.65,
+    ci_width: float = 0.25,
+    budget: int | None = None,
+    tests_per_point: int = 40,
+    batch_size: int | None = None,
+    param_policy: str = "buffer",
+    seed: int = 0,
+    n_estimators: int = 24,
+    min_tests: int = 6,
+    z: float = DEFAULT_Z,
+    sampler_mode: str = "margin",
+    metrics=None,
+    jobs: int = 1,
+    db_path=None,
+    resume: bool = False,
+    snapshot: bool = True,
+    fault_model: str = "bitflip",
+    progress_sinks=None,
+    progress_every: int = 1,
+) -> SteeringResult:
+    """Run the adaptive inject → verify → retrain → steer loop.
+
+    ``budget`` caps the total number of injected tests; the loop never
+    starts a batch it could not afford at the worst case (every stream
+    running to ``tests_per_point``), so the cap is never exceeded.
+    ``accuracy_target`` stops the loop once the incoming model predicts
+    a fresh uncertainty-sampled batch that well — a *harder* bar than
+    ``ml_driven_campaign``'s, since the batch is adversarially chosen.
+
+    ``metrics`` optionally records round accuracies and the final
+    tested/predicted/saved split under ``steer.*`` (the inner campaign
+    also records ``campaign.*`` including ``campaign.tests_saved``).
+    """
+    if labeler is None:
+        labeler, label_names = level_labeler()
+    if label_names is None:
+        raise ValueError("label_names required when passing a custom labeler")
+    if not 0.0 < accuracy_target <= 1.0:
+        raise ValueError(
+            f"accuracy_target must be in (0, 1], got {accuracy_target}"
+        )
+    if budget is not None and budget < 1:
+        raise ValueError(f"budget must be >= 1 test, got {budget}")
+    if sampler_mode not in SAMPLER_MODES:
+        raise ValueError(
+            f"unknown sampler mode {sampler_mode!r}; "
+            f"choices: {', '.join(SAMPLER_MODES)}"
+        )
+    points = list(points)
+    if not points:
+        raise ValueError("adaptive_campaign needs at least one injection point")
+    if batch_size is None:
+        batch_size = max(4, len(points) // 8)
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+    stopper = SequentialStopper(ci_width=ci_width, min_tests=min_tests, z=z)
+    rng = np.random.default_rng(seed)
+    order = [int(i) for i in rng.permutation(len(points))]
+
+    digest = None
+    if db_path is not None:
+        # One digest for the whole steering run, over the FULL candidate
+        # list plus the steering knobs — every batch joins the same
+        # campaign row, and a differently-steered run cannot collide.
+        from ..exec.checkpoint import campaign_digest
+
+        layout = "s1" if snapshot else "p1"
+        digest = campaign_digest(
+            app,
+            seed,
+            tests_per_point,
+            param_policy,
+            max(1, tests_per_point),  # stopper forces whole-point units
+            points,
+            layout=layout,
+            fault_model=fault_model,
+            extra={
+                "steer": {
+                    "accuracy_target": accuracy_target,
+                    "stopper": stopper.fingerprint(),
+                    "budget": budget,
+                    "batch_size": batch_size,
+                    "n_estimators": n_estimators,
+                    "sampler": sampler_mode,
+                }
+            },
+        )
+
+    campaign = Campaign(
+        app,
+        profile,
+        tests_per_point=tests_per_point,
+        param_policy=param_policy,
+        seed=seed,
+        metrics=metrics,
+        jobs=jobs,
+        db_path=db_path,
+        resume=resume,
+        snapshot=snapshot,
+        fault_model=fault_model,
+        progress_sinks=progress_sinks,
+        progress_every=progress_every,
+        stopper=stopper,
+    )
+
+    result = SteeringResult(
+        accuracy_target=accuracy_target,
+        ci_width=ci_width,
+        budget=budget,
+        label_names=label_names,
+    )
+    X_all = features_matrix(profile, points)
+
+    def labels_of(
+        prs: dict[InjectionPoint, PointResult],
+    ) -> tuple[list[InjectionPoint], np.ndarray]:
+        pts = sorted(prs)
+        return pts, np.array([labeler(prs[p]) for p in pts], dtype=np.int64)
+
+    model: RandomForestClassifier | None = None
+    tested_idx: set[int] = set()
+    spent = 0
+    round_no = 0
+    while True:
+        unexplored = sorted(set(range(len(points))) - tested_idx)
+        if not unexplored:
+            result.stop_reason = "exhausted"
+            break
+        n_take = min(batch_size, len(unexplored))
+        if budget is not None:
+            # Worst-case affordability: assume every stream runs to the
+            # full tests_per_point, so the budget is a hard ceiling.
+            affordable = (budget - spent) // tests_per_point
+            n_take = min(n_take, affordable)
+        if n_take <= 0:
+            result.stop_reason = "budget"
+            break
+
+        mean_unc: float | None = None
+        if model is None:
+            # Seed round: no model yet — take the head of the seeded
+            # permutation, exactly like ml_driven_campaign's first batch.
+            batch = [i for i in order if i in set(unexplored)][:n_take]
+        else:
+            scores = uncertainty_scores(
+                model, X_all[np.array(unexplored)], mode=sampler_mode
+            )
+            batch = select_batch(unexplored, scores, n_take)
+            by_cand = dict(zip(unexplored, scores))
+            mean_unc = float(np.mean([by_cand[i] for i in batch]))
+        batch_sorted = sorted(batch)
+
+        # Global indices preserve the SeedSequence contract and (with
+        # the site-sorted order) the snapshot engine's park locality.
+        sub = campaign.run(
+            [points[i] for i in batch_sorted],
+            point_indices=batch_sorted,
+            digest=digest,
+        )
+        if db_path is not None:
+            # Batches after the first must not cascade-wipe the row.
+            campaign.resume = True
+        measured = {points[i]: sub.points[points[i]] for i in batch_sorted}
+        round_tests = sub.n_tests()
+        spent += round_tests
+        tested_idx.update(batch_sorted)
+
+        acc: float | None = None
+        if model is not None:
+            # Verify the incoming model on the fresh batch *before*
+            # retraining on it — an honest, adversarially-sampled probe.
+            pts, y_true = labels_of(measured)
+            y_pred = model.predict(features_matrix(profile, pts))
+            acc = accuracy(y_true, y_pred)
+            if metrics is not None:
+                metrics.histogram("steer.round_accuracy").observe(acc)
+        result.tested.update(measured)
+        result.rounds.append(
+            SteeringRound(
+                round_no=round_no,
+                point_indices=tuple(batch_sorted),
+                tests_planned=len(batch_sorted) * tests_per_point,
+                tests_run=round_tests,
+                accuracy=acc,
+                mean_uncertainty=mean_unc,
+            )
+        )
+        _record_round(db_path, digest, result.rounds[-1], spent, "")
+
+        if acc is not None and acc >= accuracy_target:
+            result.reached_target = True
+            result.stop_reason = "accuracy"
+            break
+
+        pts, y = labels_of(result.tested)
+        model = RandomForestClassifier(
+            n_estimators=n_estimators, seed=seed + round_no
+        ).fit(features_matrix(profile, pts), y)
+        round_no += 1
+
+    result.model = model
+    if result.rounds:
+        _record_round(
+            db_path, digest, result.rounds[-1], spent, result.stop_reason
+        )
+    remaining = [i for i in range(len(points)) if i not in tested_idx]
+    if remaining and model is not None:
+        preds = model.predict(X_all[np.array(remaining)])
+        result.predicted = {points[i]: int(p) for i, p in zip(remaining, preds)}
+
+    if metrics is not None:
+        metrics.gauge("steer.rounds").set(len(result.rounds))
+        metrics.gauge("steer.tested_points").set(len(result.tested))
+        metrics.gauge("steer.predicted_points").set(len(result.predicted))
+        metrics.gauge("steer.tests_run").set(result.tests_run)
+        metrics.gauge("steer.tests_saved").set(result.tests_saved)
+        metrics.gauge("steer.final_accuracy").set(result.final_accuracy)
+        metrics.gauge("steer.test_reduction").set(result.test_reduction)
+    return result
+
+
+def _record_round(
+    db_path, digest: str | None, rnd: SteeringRound, spent: int, stop_reason: str
+) -> None:
+    """Persist one round into ``steering_rounds`` (no-op without a DB).
+
+    Opens a short-lived connection: the inner campaign closes its store
+    after every batch, so the driver holds no connection between rounds.
+    ``INSERT OR REPLACE`` keeps resumed replays idempotent.
+    """
+    if db_path is None or digest is None:
+        return
+    from ..store.db import CampaignDB
+
+    with CampaignDB(db_path) as db:
+        cid = db.campaign_id(digest)
+        if cid is None:  # pragma: no cover - campaign row always exists here
+            return
+        db.record_steering_round(
+            cid,
+            rnd.round_no,
+            point_indices=list(rnd.point_indices),
+            tests_planned=rnd.tests_planned,
+            tests_run=rnd.tests_run,
+            budget_used=spent,
+            accuracy=rnd.accuracy,
+            mean_uncertainty=rnd.mean_uncertainty,
+            stop_reason=stop_reason,
+        )

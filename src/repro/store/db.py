@@ -82,16 +82,27 @@ class CampaignDB:
         found = conn.execute(
             "SELECT value FROM schema_meta WHERE key = 'schema_version'"
         ).fetchone()
-        if found is not None and int(found["value"]) == 1:
-            # v1 -> v2: results grew a per-test fault-model column.
-            # Every pre-existing row was necessarily a single-bit test,
-            # which is exactly the column default — migrate in place.
+        if found is not None and int(found["value"]) < SCHEMA_VERSION:
+            # Chained in-place migrations, one version at a time.
+            version = int(found["value"])
             try:
                 conn.execute("BEGIN IMMEDIATE")
-                conn.execute(
-                    "ALTER TABLE results "
-                    "ADD COLUMN model TEXT NOT NULL DEFAULT 'bitflip'"
-                )
+                while version < SCHEMA_VERSION:
+                    if version == 1:
+                        # v1 -> v2: results grew a per-test fault-model
+                        # column.  Every pre-existing row was necessarily
+                        # a single-bit test, which is exactly the column
+                        # default — migrate in place.
+                        conn.execute(
+                            "ALTER TABLE results "
+                            "ADD COLUMN model TEXT NOT NULL DEFAULT 'bitflip'"
+                        )
+                    elif version == 2:
+                        # v2 -> v3: the steering_rounds table, already
+                        # created by the CREATE TABLE IF NOT EXISTS pass
+                        # above; older campaigns simply have no rounds.
+                        pass
+                    version += 1
                 conn.execute(
                     "UPDATE schema_meta SET value = ? WHERE key = 'schema_version'",
                     (str(SCHEMA_VERSION),),
@@ -101,7 +112,7 @@ class CampaignDB:
                 conn.close()
                 raise CampaignStoreError(
                     f"cannot migrate campaign database {self.path} "
-                    f"from schema v1 to v{SCHEMA_VERSION}: {exc}"
+                    f"from schema v{found['value']} to v{SCHEMA_VERSION}: {exc}"
                 ) from exc
             found = {"value": str(SCHEMA_VERSION)}
         if found is not None and int(found["value"]) != SCHEMA_VERSION:
@@ -411,6 +422,45 @@ class CampaignDB:
                     snap.quarantined,
                 ),
             )
+
+    def record_steering_round(
+        self,
+        campaign_id: int,
+        round_no: int,
+        *,
+        point_indices: list[int],
+        tests_planned: int,
+        tests_run: int,
+        budget_used: int,
+        accuracy: float | None = None,
+        mean_uncertainty: float | None = None,
+        stop_reason: str = "",
+    ) -> None:
+        """Persist one adaptive-steering round (idempotent: a resumed
+        driver re-records the rounds it replays, byte-identically)."""
+        with self._transaction():
+            self.conn.execute(
+                """
+                INSERT OR REPLACE INTO steering_rounds (
+                    campaign_id, round, point_indices, n_points,
+                    tests_planned, tests_run, tests_saved, budget_used,
+                    accuracy, mean_uncertainty, stop_reason, recorded_at
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    campaign_id, round_no,
+                    json.dumps([int(i) for i in point_indices]),
+                    len(point_indices), tests_planned, tests_run,
+                    max(0, tests_planned - tests_run), budget_used,
+                    accuracy, mean_uncertainty, stop_reason, time.time(),
+                ),
+            )
+
+    def steering_rounds(self, campaign_id: int) -> list[sqlite3.Row]:
+        return self.conn.execute(
+            "SELECT * FROM steering_rounds WHERE campaign_id = ? ORDER BY round",
+            (campaign_id,),
+        ).fetchall()
 
     def progress_rows(self, campaign_id: int) -> list[sqlite3.Row]:
         return self.conn.execute(

@@ -34,6 +34,12 @@ Tables
     Live telemetry snapshots from the supervisor loop (tests/sec,
     outcome histogram, worker health, ETA) — the report's campaign
     timeline.
+``steering_rounds``
+    One row per adaptive-steering round (see :mod:`repro.steer`): which
+    points the round injected, the test budget it planned versus spent,
+    the verification accuracy measured on the round's fresh batch, and
+    why the driver eventually stopped.  The report's accuracy-vs-budget
+    curve reads straight off this table.
 
 Durability model: the connection runs in WAL mode and every
 ``record()`` is one transaction, so a unit is either fully present
@@ -45,9 +51,10 @@ uncommitted transaction; everything previously committed survives.
 from __future__ import annotations
 
 #: Bump when the DDL below changes incompatibly; stored in ``schema_meta``.
-#: v2 added ``results.model`` (the fault-model name per test); v1
-#: databases are migrated in place on open (see ``CampaignDB.open``).
-SCHEMA_VERSION = 2
+#: v2 added ``results.model`` (the fault-model name per test); v3 added
+#: the ``steering_rounds`` table.  Older databases are migrated in place
+#: on open, one version at a time (see ``CampaignDB.open``).
+SCHEMA_VERSION = 3
 
 SCHEMA = """
 CREATE TABLE IF NOT EXISTS schema_meta (
@@ -153,5 +160,21 @@ CREATE TABLE IF NOT EXISTS progress (
     retries       INTEGER NOT NULL,
     quarantined   INTEGER NOT NULL,
     PRIMARY KEY (campaign_id, seq)
+);
+
+CREATE TABLE IF NOT EXISTS steering_rounds (
+    campaign_id      INTEGER NOT NULL REFERENCES campaigns(id) ON DELETE CASCADE,
+    round            INTEGER NOT NULL,
+    point_indices    TEXT NOT NULL,   -- JSON list of global point indices
+    n_points         INTEGER NOT NULL,
+    tests_planned    INTEGER NOT NULL,
+    tests_run        INTEGER NOT NULL,
+    tests_saved      INTEGER NOT NULL,
+    budget_used      INTEGER NOT NULL, -- cumulative tests through this round
+    accuracy         REAL,            -- verification accuracy (NULL: round 0)
+    mean_uncertainty REAL,            -- mean acquisition score (NULL: round 0)
+    stop_reason      TEXT NOT NULL DEFAULT '',
+    recorded_at      REAL NOT NULL,
+    PRIMARY KEY (campaign_id, round)
 );
 """

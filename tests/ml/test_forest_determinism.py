@@ -1,0 +1,104 @@
+"""Determinism and invariants of the random-forest learner.
+
+The adaptive driver retrains a forest every round and steers the whole
+campaign off its ``predict_proba`` — a nondeterministic fit would break
+the bit-identical-trajectory guarantee, so repeated fits are pinned to
+exact equality here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.random_forest import RandomForestClassifier
+
+SETTINGS = dict(max_examples=15, deadline=None, derandomize=True)
+
+
+def _dataset():
+    # Balanced, cleanly separable on feature 0: every bootstrap sample
+    # contains both classes with overwhelming probability, so every tree
+    # splits and per-tree importances are well defined.
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(40, 6))
+    y = (X[:, 0] > 0).astype(np.int64)
+    return X, y
+
+
+class TestBitIdenticalFits:
+    def test_repeated_fit_identical_predictions(self):
+        X, y = _dataset()
+        a = RandomForestClassifier(n_estimators=16, seed=5).fit(X, y)
+        b = RandomForestClassifier(n_estimators=16, seed=5).fit(X, y)
+        probe = np.random.default_rng(1).normal(size=(25, 6))
+        assert np.array_equal(a.predict_proba(probe), b.predict_proba(probe))
+        assert np.array_equal(a.predict(probe), b.predict(probe))
+        assert np.array_equal(a.feature_importances_, b.feature_importances_)
+
+    def test_different_seeds_differ(self):
+        X, y = _dataset()
+        a = RandomForestClassifier(n_estimators=16, seed=5).fit(X, y)
+        b = RandomForestClassifier(n_estimators=16, seed=6).fit(X, y)
+        probe = np.random.default_rng(1).normal(size=(50, 6))
+        assert not np.array_equal(a.predict_proba(probe), b.predict_proba(probe))
+
+    @settings(**SETTINGS)
+    @given(seed=st.integers(0, 2**31))
+    def test_fit_is_pure_function_of_seed(self, seed):
+        X, y = _dataset()
+        a = RandomForestClassifier(n_estimators=8, seed=seed).fit(X, y)
+        b = RandomForestClassifier(n_estimators=8, seed=seed).fit(X, y)
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+    def test_fit_does_not_disturb_global_rng(self):
+        # The forest must draw only from its own default_rng(seed) —
+        # never from np.random's global state.
+        X, y = _dataset()
+        np.random.seed(1234)
+        before = np.random.get_state()[1][:10].copy()
+        RandomForestClassifier(n_estimators=8, seed=0).fit(X, y)
+        assert np.array_equal(np.random.get_state()[1][:10], before)
+
+
+class TestFeatureImportances:
+    def test_importances_sum_to_one(self):
+        X, y = _dataset()
+        model = RandomForestClassifier(n_estimators=16, seed=3).fit(X, y)
+        imp = model.feature_importances_
+        assert imp.shape == (6,)
+        assert np.all(imp >= 0)
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_informative_feature_dominates(self):
+        X, y = _dataset()
+        model = RandomForestClassifier(n_estimators=16, seed=3).fit(X, y)
+        imp = model.feature_importances_
+        assert np.argmax(imp) == 0
+        assert imp[0] > 0.5
+
+
+class TestProbaInvariants:
+    def test_rows_sum_to_one(self):
+        X, y = _dataset()
+        model = RandomForestClassifier(n_estimators=16, seed=3).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (40, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_trees_missing_a_class_still_predict(self):
+        # Regression: with a rare top class, some bootstrap samples miss
+        # it entirely; those trees keep their narrower leaf histograms
+        # while the forest aligns everyone to the full label set.  This
+        # used to crash predict_proba with a broadcast error.
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(30, 4))
+        y = np.zeros(30, dtype=np.int64)
+        y[X[:, 0] > 0] = 1
+        y[-1] = 2  # one single sample of the top class
+        model = RandomForestClassifier(n_estimators=32, seed=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (30, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        pred = model.predict(X)
+        assert set(np.unique(pred)) <= {0, 1, 2}

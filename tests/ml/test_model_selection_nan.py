@@ -1,0 +1,65 @@
+"""Regression: unseen classes must not leak NaN out of EvaluationResult.
+
+When a label never appears in any test split, its mean recall is
+undefined.  ``as_dict`` must omit the class entirely (instead of
+emitting NaN into downstream aggregation), and computing the mean must
+not raise a mean-of-empty RuntimeWarning under warnings-as-errors.
+"""
+
+import warnings
+
+import numpy as np
+
+from repro.ml.model_selection import evaluate_model
+
+
+class MajorityModel:
+    """Predicts the majority training label — enough to drive splits."""
+
+    def fit(self, X, y):
+        self.label = int(np.bincount(y).argmax())
+        return self
+
+    def predict(self, X):
+        return np.full(len(X), self.label, dtype=np.int64)
+
+
+def test_unseen_class_is_omitted_not_nan():
+    # Three declared labels but class 2 never occurs in the data, so no
+    # split can ever see it.
+    X = np.random.default_rng(0).normal(size=(20, 3))
+    y = np.array([0, 1] * 10, dtype=np.int64)
+    names = ("low", "high", "never")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = evaluate_model(lambda rep: MajorityModel(), X, y, names, seed=1)
+    assert np.isnan(result.per_class[2])
+    d = result.as_dict()
+    assert "never" not in d
+    assert set(d) <= {"low", "high"}
+    for v in d.values():
+        assert not np.isnan(v)
+        assert 0.0 <= v <= 1.0
+
+
+def test_all_classes_seen_keeps_every_entry():
+    X = np.random.default_rng(0).normal(size=(24, 3))
+    y = np.array([0, 1, 2] * 8, dtype=np.int64)
+    names = ("a", "b", "c")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = evaluate_model(lambda rep: MajorityModel(), X, y, names, seed=1)
+    d = result.as_dict()
+    assert set(d) == {"a", "b", "c"}
+
+
+def test_degenerate_single_point_evaluation():
+    # n = 1 yields no usable split at all: zero repeats, all-NaN
+    # per_class, empty dict — and still no warnings.
+    X = np.zeros((1, 2))
+    y = np.zeros(1, dtype=np.int64)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = evaluate_model(lambda rep: MajorityModel(), X, y, ("only",))
+    assert result.repeats == 0
+    assert result.as_dict() == {}
